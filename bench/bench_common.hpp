@@ -1,0 +1,72 @@
+// Shared helpers for the figure-reproduction benches.
+//
+// Every bench prints (a) the hyperparameter header (Table 2 values in
+// effect), (b) the same normalized rows/series its paper figure
+// reports. Scale knobs are environment variables so a user can crank
+// fidelity without recompiling:
+//   NEUROPLAN_TOPOS    e.g. "ABC"   — subset of preset topologies
+//   NEUROPLAN_EPOCHS   e.g. "256"   — RL epochs override (0 = default)
+//   NEUROPLAN_SEED     e.g. "7"     — RL / workload seed
+//   NEUROPLAN_ILP_TIME e.g. "120"   — exact-ILP budget seconds
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/neuroplan.hpp"
+#include "topo/generator.hpp"
+#include "util/env.hpp"
+#include "util/table.hpp"
+
+namespace np::bench {
+
+inline std::string topo_selection(const std::string& fallback) {
+  return env_string("NEUROPLAN_TOPOS", fallback);
+}
+
+inline unsigned bench_seed() {
+  return static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7));
+}
+
+inline double ilp_time_budget() {
+  return env_double("NEUROPLAN_ILP_TIME", 120.0);
+}
+
+/// Training config for bench runs: the shared CPU-budget defaults with
+/// a per-topology epoch schedule, overridable via NEUROPLAN_EPOCHS.
+inline rl::TrainConfig bench_train_config(const topo::Topology& topology,
+                                          char topo_id, unsigned seed) {
+  rl::TrainConfig config = core::default_train_config(topology, seed);
+  switch (topo_id) {
+    case 'A': config.epochs = 32; break;
+    case 'B': config.epochs = 32; break;
+    case 'C': config.epochs = 24; break;
+    case 'D': config.epochs = 10; break;
+    default:  config.epochs = 6; break;
+  }
+  const long override_epochs = env_long("NEUROPLAN_EPOCHS", 0);
+  if (override_epochs > 0) config.epochs = static_cast<int>(override_epochs);
+  return config;
+}
+
+/// Second-stage ILP budget, scaled with the topology (override with
+/// NEUROPLAN_STAGE2_TIME).
+inline double stage2_budget(char topo_id) {
+  double fallback = 60.0;
+  switch (topo_id) {
+    case 'C': fallback = 120.0; break;
+    case 'D': fallback = 150.0; break;
+    case 'E': fallback = 180.0; break;
+    default: break;
+  }
+  return env_double("NEUROPLAN_STAGE2_TIME", fallback);
+}
+
+inline void print_header(const char* figure, const char* description) {
+  std::printf("==== %s ====\n%s\n", figure, description);
+  std::printf("(Table 2 defaults in effect: gamma=0.99 gae-lambda=0.97 GNN=GCN "
+              "relu; CPU-budget adaptations per EXPERIMENTS.md)\n\n");
+}
+
+}  // namespace np::bench

@@ -1,0 +1,48 @@
+// Figure 8: optimality on small-scale problems.
+//
+// Varies topology A's existing capacity (A-0 .. A-1 = 0%..100% of the
+// preset's capacities), solves each variant exactly with the ILP and
+// with the NeuroPlan pipeline at alpha = 2, and reports First-stage and
+// NeuroPlan costs normalized to the ILP optimum — the figure's bars.
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+
+int main() {
+  using namespace np;
+  bench::print_header(
+      "Figure 8: optimality for small-scale problems",
+      "Costs normalized to the exact ILP optimum on each A-x variant\n"
+      "(x = fraction of topology A's existing capacity), alpha = 2.");
+
+  const topo::Topology base = topo::make_preset('A');
+  Table table({"variant", "ILP", "First-stage", "NeuroPlan", "train s", "ilp s"});
+  for (double fraction : {0.0, 0.25, 0.5, 0.75, 1.0}) {
+    const topo::Topology variant = topo::scale_initial_capacity(base, fraction);
+
+    core::IlpConfig ilp_config;
+    ilp_config.time_limit_seconds = bench::ilp_time_budget();
+    const core::PlanResult exact = core::solve_ilp(variant, ilp_config);
+
+    core::NeuroPlanConfig config;
+    config.train = bench::bench_train_config(variant, 'A', bench::bench_seed());
+    config.relax_factor = 2.0;
+    config.ilp_time_limit_seconds = bench::ilp_time_budget();
+    const core::NeuroPlanResult result = core::neuroplan(variant, config);
+
+    const bool have_opt = exact.feasible && !exact.timed_out;
+    const double opt = exact.cost;
+    table.add_row({"A-" + fmt_double(fraction, 2), have_opt ? "1.000" : "x",
+                   fmt_or_cross(result.first_stage.cost / opt,
+                                have_opt && result.first_stage.feasible, 3),
+                   fmt_or_cross(result.final.cost / opt,
+                                have_opt && result.final.feasible, 3),
+                   fmt_double(result.train_seconds, 1),
+                   fmt_double(result.ilp_seconds, 1)});
+  }
+  table.print();
+  std::printf("\nExpected shape (paper): First-stage within ~1.3x of optimal\n"
+              "(closer as existing capacity grows), NeuroPlan within ~1.02x.\n"
+              "Our CPU-scale training widens First-stage; the second stage\n"
+              "still recovers near-optimal plans (see EXPERIMENTS.md).\n");
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Figure 12: impact of the maximum capacity units added per step (m).
+//
+// (a) First-stage cost (normalized to optimal) for m in {1, 4, 16} on
+//     the A-x variants.
+// (b) Convergence on A-1: larger m shortens trajectories, so the agent
+//     sees more complete plans per epoch (the paper's GPU-batching
+//     motivation in §5 "workload patterns").
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "rl/trainer.hpp"
+
+int main() {
+  using namespace np;
+  bench::print_header(
+      "Figure 12: impact of max capacity units per step",
+      "(a) First-stage cost normalized to optimal; (b) reward curves on A-1.");
+
+  const topo::Topology base = topo::make_preset('A');
+  const std::vector<int> unit_sweep = {1, 4, 16};
+
+  Table table({"variant", "m=1", "m=4", "m=16"});
+  std::vector<std::vector<double>> a1_curves(unit_sweep.size());
+
+  for (double fraction : {0.0, 0.5, 1.0}) {
+    const topo::Topology variant = topo::scale_initial_capacity(base, fraction);
+    core::IlpConfig ilp_config;
+    ilp_config.time_limit_seconds = bench::ilp_time_budget();
+    const core::PlanResult exact = core::solve_ilp(variant, ilp_config);
+    const bool have_opt = exact.feasible && !exact.timed_out;
+
+    std::vector<std::string> row = {"A-" + fmt_double(fraction, 1)};
+    for (std::size_t u = 0; u < unit_sweep.size(); ++u) {
+      rl::TrainConfig config =
+          bench::bench_train_config(variant, 'A', bench::bench_seed());
+      config.env.max_units_per_step = unit_sweep[u];
+      rl::A2cTrainer trainer(variant, config);
+      const std::vector<rl::EpochStats> history = trainer.train();
+      trainer.greedy_rollout();
+      row.push_back(fmt_or_cross(trainer.best_cost() / exact.cost,
+                                 have_opt && trainer.has_feasible_plan(), 3));
+      if (fraction == 1.0) {
+        for (const rl::EpochStats& s : history) {
+          a1_curves[u].push_back(s.mean_return);
+        }
+      }
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("(a) First-stage cost vs max units per step\n");
+  table.print();
+
+  std::printf("\n(b) mean epoch return vs epoch on A-1\n");
+  Table curves({"epoch", "m=1", "m=4", "m=16"});
+  for (std::size_t e = 0; e < a1_curves[0].size(); ++e) {
+    std::vector<std::string> row = {std::to_string(e + 1)};
+    for (const auto& curve : a1_curves) {
+      row.push_back(e < curve.size() ? fmt_double(curve[e], 3) : "-");
+    }
+    curves.add_row(std::move(row));
+  }
+  curves.print();
+  std::printf("\nExpected shape (paper): m has nearly no influence on final\n"
+              "cost; larger m speeds convergence on problems whose capacity\n"
+              "increments concentrate on few links.\n");
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Figure 13: impact of the relax factor alpha.
+//
+// Trains the first stage once per topology, then sweeps alpha over
+// {1, 1.25, 1.5} for the second stage. Costs are normalized to the
+// First-stage cost (values < 1 = the pruned ILP improved the RL plan);
+// larger alpha explores a bigger space and can only improve the cost.
+#include "bench_common.hpp"
+#include "core/baselines.hpp"
+#include "rl/trainer.hpp"
+
+int main() {
+  using namespace np;
+  bench::print_header(
+      "Figure 13: impact of the relax factor",
+      "NeuroPlan final cost normalized to First-stage per topology.");
+
+  const std::string topos = bench::topo_selection("ABC");  // ABCDE with env
+
+  Table table({"topology", "alpha=1", "alpha=1.25", "alpha=1.5", "stage2 s"});
+  for (char id : topos) {
+    const topo::Topology topology = topo::make_preset(id);
+    rl::TrainConfig train = bench::bench_train_config(topology, id, bench::bench_seed());
+    rl::A2cTrainer trainer(topology, train);
+    trainer.train();
+    trainer.greedy_rollout();
+    core::PlanResult first;
+    if (trainer.has_feasible_plan()) {
+      first.feasible = true;
+      first.added_units = trainer.best_added_units();
+      first.cost = trainer.best_cost();
+    } else {
+      first = core::solve_greedy(topology);  // documented fallback
+    }
+    if (!first.feasible) {
+      table.add_row({std::string(1, id), "x", "x", "x", "-"});
+      continue;
+    }
+
+    std::vector<std::string> row = {std::string(1, id)};
+    double seconds = 0.0;
+    for (double alpha : {1.0, 1.25, 1.5}) {
+      const core::PlanResult pruned = core::second_stage(
+          topology, first.added_units, alpha, bench::stage2_budget(id), 1e-2);
+      row.push_back(fmt_or_cross(pruned.cost / first.cost, pruned.feasible, 3));
+      seconds += pruned.seconds;
+    }
+    row.push_back(fmt_double(seconds, 1));
+    table.add_row(std::move(row));
+  }
+  table.print();
+  std::printf("\nExpected shape (paper): little improvement on A (RL already\n"
+              "near-optimal there at full budget); up to ~46%% improvement on\n"
+              "larger topologies; larger alpha -> better final cost.\n");
+  return 0;
+}

@@ -1,0 +1,64 @@
+// Agent reuse across planning cycles: train once, checkpoint the
+// network, reload it into a fresh agent, and plan a *new* demand
+// forecast without retraining from scratch (a short fine-tune).
+//
+//   ./agent_reuse [epochs]
+//
+// This is the "incrementally deployable" workflow of §1: operators keep
+// the trained pruning policy around and re-run it as demands evolve.
+#include <cstdio>
+#include <cstdlib>
+
+#include "ad/checkpoint.hpp"
+#include "core/neuroplan.hpp"
+#include "plan/report.hpp"
+#include "topo/generator.hpp"
+#include "util/log.hpp"
+
+int main(int argc, char** argv) {
+  np::set_log_level(np::LogLevel::kWarn);
+  const long epochs = argc > 1 ? std::atol(argv[1]) : 24;
+
+  np::topo::Topology today = np::topo::make_preset('A');
+  np::rl::TrainConfig train = np::core::default_train_config(today, /*seed=*/31);
+  train.epochs = static_cast<int>(epochs);
+
+  // Cycle 1: train on today's forecast, checkpoint the agent.
+  np::rl::A2cTrainer trainer(today, train);
+  trainer.train();
+  trainer.greedy_rollout();
+  std::printf("cycle 1: first-stage cost %.1f after %ld epochs\n",
+              trainer.best_cost(), epochs);
+  const std::string checkpoint = "/tmp/neuroplan_agent.ckpt";
+  np::ad::save_parameters_file(trainer.network().all_parameters(), checkpoint);
+  std::printf("agent checkpointed to %s\n", checkpoint.c_str());
+
+  // Cycle 2: demand grew 30% (same topology shape). Reload the agent
+  // and fine-tune briefly instead of training from scratch.
+  np::topo::GeneratorParams params = np::topo::preset('A');
+  params.total_demand_tbps *= 1.3;
+  np::topo::Topology next_quarter = np::topo::generate(params);
+
+  np::rl::TrainConfig finetune = train;
+  finetune.epochs = std::max<long>(2, epochs / 4);
+  np::rl::A2cTrainer reused(next_quarter, finetune);
+  np::ad::load_parameters_file(reused.network().all_parameters(), checkpoint);
+  reused.train();
+  reused.greedy_rollout();
+  if (!reused.has_feasible_plan()) {
+    std::printf("fine-tune budget too small to find a plan; raise epochs\n");
+    return 1;
+  }
+  std::printf("cycle 2 (fine-tuned %d epochs): first-stage cost %.1f\n",
+              finetune.epochs, reused.best_cost());
+
+  // Finish with the second stage and an operator report.
+  const np::core::PlanResult final_plan = np::core::second_stage(
+      next_quarter, reused.best_added_units(), /*relax_factor=*/1.5, 120.0);
+  if (final_plan.feasible) {
+    const np::plan::PlanReport report =
+        np::plan::analyze_plan(next_quarter, final_plan.added_units);
+    std::fputs(np::plan::to_text(next_quarter, report).c_str(), stdout);
+  }
+  return 0;
+}

@@ -1,0 +1,48 @@
+#!/usr/bin/env python3
+"""Splice bench_output.txt sections into EXPERIMENTS.md placeholders.
+
+Usage: python3 scripts/update_experiments.py
+Each `<!-- TAG -->` placeholder is replaced by the corresponding bench
+binary's output, fenced as a code block. Idempotent: re-running after a
+fresh bench run refreshes the numbers (placeholders are preserved as
+markers above each block).
+"""
+import re
+import sys
+from pathlib import Path
+
+ROOT = Path(__file__).resolve().parent.parent
+MAPPING = {
+    "FIG7": "fig07_evaluator_efficiency",
+    "FIG8": "fig08_small_scale_optimality",
+    "FIG9": "fig09_large_scale",
+    "FIG10": "fig10_gnn_layers",
+    "FIG11": "fig11_mlp_hidden",
+    "FIG12": "fig12_capacity_units",
+    "FIG13": "fig13_relax_factor",
+    "ABLGAT": "abl_gat_vs_gcn",
+    "ABLSEED": "abl_seed_variance",
+}
+
+def main() -> int:
+    bench = (ROOT / "bench_output.txt").read_text()
+    sections = {}
+    for block in bench.split("===== ")[1:]:
+        header, _, body = block.partition("\n")
+        name = header.strip().rstrip("= ").split("/")[-1].strip()
+        sections[name] = body.strip()
+
+    text = (ROOT / "EXPERIMENTS.md").read_text()
+    for tag, binary in MAPPING.items():
+        if binary not in sections:
+            print(f"warning: no bench output for {binary}", file=sys.stderr)
+            continue
+        fenced = f"<!-- {tag} -->\n```\n{sections[binary]}\n```"
+        pattern = re.compile(rf"<!-- {tag} -->(\n```\n.*?\n```)?", re.DOTALL)
+        text = pattern.sub(lambda _m: fenced, text, count=1)
+    (ROOT / "EXPERIMENTS.md").write_text(text)
+    print("EXPERIMENTS.md updated")
+    return 0
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,48 @@
+// Adam optimizer (Kingma & Ba) over a set of Parameters. The paper
+// trains actor (lr 3e-4) and critic (lr 1e-3) with separate optimizers
+// sharing the GNN parameters; we mirror that by letting each Adam own
+// its own parameter list.
+#pragma once
+
+#include <vector>
+
+#include "ad/parameter.hpp"
+
+namespace np::ad {
+
+struct AdamConfig {
+  double learning_rate = 1e-3;
+  double beta1 = 0.9;
+  double beta2 = 0.999;
+  double epsilon = 1e-8;
+  /// Clip each parameter's gradient to this max-norm (0 disables).
+  /// A plain stability guard for the RL losses.
+  double grad_clip = 5.0;
+};
+
+class Adam {
+ public:
+  explicit Adam(AdamConfig config = {}) : config_(config) {}
+
+  /// Register a parameter; it must outlive the optimizer.
+  void add_parameter(Parameter& param) { params_.push_back(&param); }
+  void add_parameters(const std::vector<Parameter*>& params);
+
+  /// Apply one Adam update from the accumulated gradients, then leave
+  /// the gradients untouched (call zero_grad() separately so that two
+  /// losses can share parameters within one epoch, as in Algorithm 1).
+  void step();
+
+  /// Zero the gradients of all registered parameters.
+  void zero_grad();
+
+  std::size_t parameter_count() const { return params_.size(); }
+  const AdamConfig& config() const { return config_; }
+
+ private:
+  AdamConfig config_;
+  std::vector<Parameter*> params_;
+  long t_ = 0;  // Adam timestep for bias correction
+};
+
+}  // namespace np::ad

@@ -1,0 +1,27 @@
+// Parameter checkpoints: save/load named parameter sets as plain text.
+// Lets a trained NeuroPlan agent be reused across planning cycles
+// ("incrementally deployable", §1) without retraining.
+//
+// Format, line oriented:
+//   param <name> <rows> <cols> v_00 v_01 ... (row-major, max precision)
+// Loading matches by name and requires identical shapes; unknown names
+// in the file or missing parameters throw.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "ad/parameter.hpp"
+
+namespace np::ad {
+
+void save_parameters(const std::vector<Parameter*>& parameters, std::ostream& out);
+void load_parameters(const std::vector<Parameter*>& parameters, std::istream& in);
+
+void save_parameters_file(const std::vector<Parameter*>& parameters,
+                          const std::string& path);
+void load_parameters_file(const std::vector<Parameter*>& parameters,
+                          const std::string& path);
+
+}  // namespace np::ad

@@ -1,0 +1,145 @@
+#include "core/baselines.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include "core/lazy_solve.hpp"
+#include "plan/evaluator.hpp"
+#include "plan/formulation.hpp"
+#include "topo/paths.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace np::core {
+
+namespace {
+
+std::vector<int> total_from_added(const topo::Topology& topology,
+                                  const std::vector<int>& added) {
+  std::vector<int> total = topology.initial_units();
+  for (int l = 0; l < topology.num_links(); ++l) total[l] += added[l];
+  return total;
+}
+
+}  // namespace
+
+PlanResult solve_ilp(const topo::Topology& topology, const IlpConfig& config) {
+  Stopwatch watch;
+  PlanResult result;
+  plan::FormulationOptions options;
+  options.aggregate_sources = config.aggregate_sources;
+  plan::PlanningMilp milp(topology, options);
+
+  if (milp.model().num_rows() > config.max_model_rows) {
+    result.timed_out = true;
+    result.seconds = watch.seconds();
+    result.detail = "ilp: model too large (" +
+                    std::to_string(milp.model().num_rows()) + " rows, " +
+                    std::to_string(milp.model().num_variables()) +
+                    " variables) for the solver budget";
+    return result;
+  }
+
+  milp::MilpOptions milp_options;
+  milp_options.time_limit_seconds = config.time_limit_seconds;
+  milp_options.relative_gap = config.relative_gap;
+  const milp::MilpResult solved = milp::solve(milp.model(), milp_options);
+
+  result.seconds = watch.seconds();
+  result.detail = std::string("ilp: ") + milp::to_string(solved.status);
+  if (solved.status == milp::MilpStatus::kOptimal && solved.has_incumbent) {
+    result.feasible = true;
+    result.added_units = milp.extract_added_units(solved.x);
+    result.cost = topology.plan_cost(result.added_units);
+  } else {
+    // A time/node limit with an unproven incumbent still counts as "ILP
+    // could not solve the problem" for Figure 9's purposes.
+    result.timed_out = solved.status == milp::MilpStatus::kTimeLimit ||
+                       solved.status == milp::MilpStatus::kNodeLimit;
+    if (solved.has_incumbent) {
+      result.added_units = milp.extract_added_units(solved.x);
+      result.cost = topology.plan_cost(result.added_units);
+      result.detail += " (unproven incumbent)";
+    }
+  }
+  return result;
+}
+
+PlanResult solve_greedy(const topo::Topology& topology) {
+  Stopwatch watch;
+  PlanResult result;
+  const int num_links = topology.num_links();
+  std::vector<int> worst(num_links, 0);
+
+  // Scenario -1 is the healthy network, then every failure.
+  for (int scenario = -1; scenario < topology.num_failures(); ++scenario) {
+    const topo::Failure healthy{};
+    const topo::Failure& failure =
+        scenario < 0 ? healthy : topology.failure(scenario);
+    std::vector<bool> usable(num_links);
+    for (int l = 0; l < num_links; ++l) usable[l] = !topology.link_failed(l, failure);
+    std::vector<int> load(num_links, 0);
+    for (int f = 0; f < topology.num_flows(); ++f) {
+      const topo::Flow& flow = topology.flow(f);
+      if (!topology.flow_required(flow, failure)) continue;
+      const std::vector<int> path =
+          topo::shortest_ip_path(topology, flow.src, flow.dst, usable);
+      if (path.empty()) {
+        result.detail = "greedy: flow disconnected under " + failure.name;
+        result.seconds = watch.seconds();
+        return result;  // infeasible topology for this heuristic
+      }
+      const int needed = static_cast<int>(
+          std::ceil(flow.demand_gbps / topology.capacity_unit_gbps() - 1e-9));
+      for (int l : path) load[l] += needed;
+    }
+    for (int l = 0; l < num_links; ++l) worst[l] = std::max(worst[l], load[l]);
+  }
+
+  result.added_units.assign(num_links, 0);
+  for (int l = 0; l < num_links; ++l) {
+    const int add = std::max(0, worst[l] - topology.link(l).initial_units);
+    result.added_units[l] =
+        std::min(add, topology.link_max_units(l) - topology.link(l).initial_units);
+  }
+  result.cost = topology.plan_cost(result.added_units);
+  result.seconds = watch.seconds();
+  result.detail = "greedy: worst-case shortest-path load";
+
+  // Shortest-path loads can exceed spectrum or under-serve when paths
+  // overlap; verify honestly.
+  plan::PlanEvaluator evaluator(topology, plan::EvaluatorMode::kSourceAggregation);
+  result.feasible =
+      evaluator.check(total_from_added(topology, result.added_units)).feasible;
+  return result;
+}
+
+PlanResult solve_ilp_heur(const topo::Topology& topology,
+                          const IlpHeurConfig& config) {
+  Stopwatch watch;
+
+  // The production-style recipe (§3.2): coarse capacity units + the
+  // failure-selection loop (shared lazy generator), warm-started from a
+  // known-good design ("warm-start solutions can include previously
+  // known good designs") — here the greedy shortest-path plan.
+  const PlanResult greedy = solve_greedy(topology);
+
+  plan::FormulationOptions options;
+  options.unit_multiplier = config.unit_multiplier;
+  LazySolveConfig lazy;
+  lazy.initial_failures = config.initial_failures;
+  lazy.max_rounds = config.max_rounds;
+  lazy.time_limit_per_solve_seconds = config.time_limit_per_solve_seconds;
+  lazy.total_time_limit_seconds =
+      config.time_limit_per_solve_seconds * config.max_rounds;
+  lazy.relative_gap = config.relative_gap;
+  if (greedy.feasible) lazy.seed_added_units = greedy.added_units;
+  LazySolveResult solved = lazy_solve(topology, options, lazy);
+  PlanResult result = std::move(solved.plan);
+  result.detail = "ilp-heur " + result.detail;
+  result.seconds = watch.seconds();
+  return result;
+}
+
+}  // namespace np::core

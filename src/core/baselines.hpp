@@ -1,0 +1,54 @@
+// Baseline planners from the paper's evaluation (§6):
+//
+//  * solve_ilp       — the exact formulation of §3.1 handed to the MILP
+//                      solver with a wall-clock budget; times out on
+//                      large topologies (the crosses in Figure 9).
+//  * solve_ilp_heur  — today's production practice (§3.2): hand-tuned
+//                      heuristics that prune the search space before
+//                      running the solver. We implement the three the
+//                      paper describes: capacity-unit enlargement,
+//                      iterative failure selection, and warm starts
+//                      from a known-good design (the greedy plan).
+//  * solve_greedy    — shortest-path overprovisioning: per scenario,
+//                      route every required flow on its shortest
+//                      surviving path; per link take the worst-case
+//                      load over scenarios. Always feasible, never
+//                      cheap; used as warm start and sanity baseline.
+#pragma once
+
+#include "core/planner.hpp"
+#include "milp/branch_and_bound.hpp"
+
+namespace np::core {
+
+struct IlpConfig {
+  double time_limit_seconds = 300.0;
+  double relative_gap = 1e-4;
+  bool aggregate_sources = true;
+  /// Refuse models whose LP relaxation exceeds this many rows: the
+  /// dense-basis simplex cannot make progress on them within any
+  /// sensible budget, so we report the Figure 9 cross immediately
+  /// instead of spinning on the root LP.
+  int max_model_rows = 4000;
+};
+
+PlanResult solve_ilp(const topo::Topology& topology, const IlpConfig& config = {});
+
+struct IlpHeurConfig {
+  /// Capacity-unit enlargement factor (§3.2 "enlarging the capacity
+  /// unit that can be added over some or all links").
+  int unit_multiplier = 4;
+  /// Failure-selection loop: start from the healthy network plus this
+  /// many failures, then add violated scenarios until the plan passes.
+  int initial_failures = 2;
+  int max_rounds = 64;
+  double time_limit_per_solve_seconds = 60.0;
+  double relative_gap = 1e-3;
+};
+
+PlanResult solve_ilp_heur(const topo::Topology& topology,
+                          const IlpHeurConfig& config = {});
+
+PlanResult solve_greedy(const topo::Topology& topology);
+
+}  // namespace np::core

@@ -1,0 +1,60 @@
+// Lazy scenario generation for planning MILPs.
+//
+// Materializing every failure scenario in one MILP (the paper's naive
+// ILP) blows up with topology size — exactly the scalability wall §3.2
+// describes. This helper keeps the MILP small: solve with a scenario
+// subset, check the resulting plan against ALL scenarios with the plan
+// evaluator, add the violated scenario, repeat.
+//
+// Soundness: each round's MILP is a relaxation of the full problem
+// (fewer constraints), so its optimum lower-bounds the full optimum;
+// when the returned plan also passes the full evaluator check it is
+// feasible for the full problem — hence optimal (up to the MILP gap).
+//
+// Both NeuroPlan's second stage and the ILP-heur baseline run through
+// this helper (ILP-heur additionally coarsens the capacity unit, which
+// is where its optimality loss comes from).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/planner.hpp"
+#include "milp/branch_and_bound.hpp"
+#include "plan/formulation.hpp"
+
+namespace np::core {
+
+struct LazySolveConfig {
+  int initial_failures = 1;     ///< seed scenarios besides the healthy one
+  int max_rounds = 128;
+  double total_time_limit_seconds = 600.0;
+  double time_limit_per_solve_seconds = 120.0;
+  double relative_gap = 1e-4;
+  /// Optional per-link ADDED units of a plan known to be feasible for
+  /// every scenario and inside `base`'s bounds (e.g. NeuroPlan's
+  /// first-stage plan). Injected as an integer warm start into every
+  /// round's MILP so time-limited rounds still carry an incumbent.
+  std::vector<int> seed_added_units;
+  /// Failure indices to include from round 1 (in addition to the first
+  /// initial_failures ones) — e.g. the binding set a previous coarse
+  /// pass discovered.
+  std::vector<int> initial_scenario_set;
+};
+
+struct LazySolveResult {
+  PlanResult plan;
+  int rounds = 0;
+  int scenarios_used = 0;  ///< failures in the final MILP (healthy excluded)
+  /// Failure indices that ended up in the MILP — the binding set.
+  std::vector<int> binding_failures;
+  long lp_iterations = 0;
+};
+
+/// `base` supplies bounds / unit multiplier / aggregation; its failure
+/// subset fields are overwritten by the generation loop.
+LazySolveResult lazy_solve(const topo::Topology& topology,
+                           plan::FormulationOptions base,
+                           const LazySolveConfig& config = {});
+
+}  // namespace np::core

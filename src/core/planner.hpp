@@ -1,0 +1,31 @@
+// Common planner result type shared by NeuroPlan and the baselines
+// (ILP, ILP-heur, greedy shortest-path) compared in §6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace np::core {
+
+struct PlanResult {
+  /// True when added_units yields a plan satisfying every scenario.
+  bool feasible = false;
+  /// True when a resource limit stopped the solver before it could
+  /// prove anything useful (the paper's crosses in Figures 7-9).
+  bool timed_out = false;
+  /// Per-link capacity units added on top of the existing topology.
+  std::vector<int> added_units;
+  /// Cost of the additions per the topology's cost model (Eq. 1).
+  double cost = 0.0;
+  double seconds = 0.0;
+  std::string detail;  ///< solver status / notes for logs and tables
+};
+
+/// Independently verify a result against a fresh evaluator and recompute
+/// its cost; returns the verified result (feasible=false if the plan
+/// does not actually satisfy the scenarios).
+PlanResult verify_result(const topo::Topology& topology, PlanResult result);
+
+}  // namespace np::core

@@ -1,0 +1,86 @@
+// Linear-program model: minimize c^T x subject to row activity bounds
+//   lo_r <= a_r . x <= hi_r   and variable bounds  lb_j <= x_j <= ub_j.
+//
+// This is the in-memory form shared by the simplex solver (np::lp) and
+// the branch-and-bound MILP solver (np::milp). The plan evaluator and
+// the planning-ILP builder (np::plan) construct these models. Rows and
+// variable bounds are mutable after construction so the evaluator can
+// patch a model per failure scenario instead of rebuilding it — the
+// paper's "only update the constraints that are influenced by the
+// failure" optimization (§5).
+#pragma once
+
+#include <limits>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace np::lp {
+
+inline constexpr double kInfinity = std::numeric_limits<double>::infinity();
+
+/// One sparse row entry: (variable index, coefficient).
+using Coefficient = std::pair<int, double>;
+
+struct Variable {
+  double lower = 0.0;
+  double upper = kInfinity;
+  double objective = 0.0;
+  bool is_integer = false;  // honored by np::milp, ignored by the LP solver
+  std::string name;
+};
+
+struct Row {
+  double lower = -kInfinity;
+  double upper = kInfinity;
+  std::vector<Coefficient> coefficients;
+  std::string name;
+};
+
+class Model {
+ public:
+  /// Add a variable; returns its index.
+  int add_variable(double lower, double upper, double objective,
+                   std::string name = {}, bool is_integer = false);
+
+  /// Add a row lo <= coeffs . x <= hi; returns its index. Coefficients
+  /// referencing unknown variables throw.
+  int add_row(double lower, double upper, std::vector<Coefficient> coefficients,
+              std::string name = {});
+
+  int num_variables() const { return static_cast<int>(variables_.size()); }
+  int num_rows() const { return static_cast<int>(rows_.size()); }
+
+  const Variable& variable(int index) const { return variables_.at(index); }
+  const Row& row(int index) const { return rows_.at(index); }
+
+  void set_variable_bounds(int index, double lower, double upper);
+  void set_objective_coefficient(int index, double objective);
+  void set_integer(int index, bool is_integer);
+  void set_row_bounds(int index, double lower, double upper);
+
+  /// Replace a row's coefficient vector (evaluator patching).
+  void set_row_coefficients(int index, std::vector<Coefficient> coefficients);
+
+  const std::vector<Variable>& variables() const { return variables_; }
+  const std::vector<Row>& rows() const { return rows_; }
+
+  /// Objective value of a given point (no feasibility check).
+  double objective_value(const std::vector<double>& x) const;
+
+  /// Max violation of rows + variable bounds at x (0 when feasible).
+  double max_violation(const std::vector<double>& x) const;
+
+  /// Throws std::invalid_argument when any bound pair is inverted or a
+  /// coefficient is non-finite.
+  void validate() const;
+
+ private:
+  void check_variable_index(int index) const;
+  void check_row_index(int index) const;
+
+  std::vector<Variable> variables_;
+  std::vector<Row> rows_;
+};
+
+}  // namespace np::lp

@@ -1,0 +1,693 @@
+#include "lp/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <stdexcept>
+
+#include "util/stopwatch.hpp"
+
+namespace np::lp {
+
+const char* to_string(SolveStatus status) {
+  switch (status) {
+    case SolveStatus::kOptimal: return "optimal";
+    case SolveStatus::kInfeasible: return "infeasible";
+    case SolveStatus::kUnbounded: return "unbounded";
+    case SolveStatus::kIterationLimit: return "iteration-limit";
+    case SolveStatus::kTimeLimit: return "time-limit";
+  }
+  return "unknown";
+}
+
+namespace {
+
+constexpr double kPivotTolerance = 1e-9;
+
+/// Internal solver state over the computational form A z = 0 with
+/// columns [structural | slack | artificial].
+class Simplex {
+ public:
+  Simplex(const Model& model, const SimplexOptions& options)
+      : model_(model), options_(options) {
+    n_struct_ = model.num_variables();
+    m_ = model.num_rows();
+    n_real_ = n_struct_ + m_;        // structural + slacks
+    n_total_ = n_real_ + m_;         // + artificials
+    build_columns();
+    build_bounds();
+  }
+
+  Solution run() {
+    Stopwatch watch;
+    Solution solution;
+    WarmState warm = try_warm_start();
+    if (warm == WarmState::kPrimalFeasible) {
+      solution.start_path = StartPath::kWarmPrimal;
+    }
+
+    if (warm == WarmState::kBasisOnly) {
+      // The warm basis is primal infeasible (typical after a bound
+      // change, e.g. a branch-and-bound child). If it is still DUAL
+      // feasible, the dual simplex repairs primal feasibility in a few
+      // pivots instead of a full phase-1 restart.
+      fix_artificials();
+      set_phase2_costs();
+      const std::optional<SolveStatus> repaired = dual_iterate(watch);
+      if (repaired.has_value()) {
+        solution.start_path = StartPath::kDualRepair;
+        if (*repaired == SolveStatus::kOptimal) {
+          const SolveStatus st = iterate(watch, /*phase1=*/false);
+          finish(solution, st, watch);
+          return solution;
+        }
+        finish(solution, *repaired, watch);
+        return solution;
+      }
+      warm = WarmState::kNone;  // dual repair gave up: cold start
+      solution.start_path = StartPath::kWarmFailed;
+    }
+    if (warm == WarmState::kNone) {
+      if (options_.warm_start != nullptr &&
+          solution.start_path == StartPath::kCold) {
+        solution.start_path = StartPath::kWarmFailed;
+      }
+      cold_start();
+    }
+
+    // Phase 1: drive artificial variables (and, for warm starts that
+    // turned out infeasible, re-cold-start) to zero total.
+    if (warm == WarmState::kNone && needs_phase1_) {
+      set_phase1_costs();
+      const SolveStatus st = iterate(watch, /*phase1=*/true);
+      if (st != SolveStatus::kOptimal) {
+        finish(solution, st, watch);
+        return solution;
+      }
+      if (phase_objective() > 1e3 * options_.feasibility_tolerance) {
+        finish(solution, SolveStatus::kInfeasible, watch);
+        return solution;
+      }
+    }
+    // On every path (including warm starts and already-feasible cold
+    // starts) artificials must be pinned to zero before phase 2: they
+    // carry zero cost there and would otherwise be free to re-enter.
+    fix_artificials();
+
+    set_phase2_costs();
+    const SolveStatus st = iterate(watch, /*phase1=*/false);
+    finish(solution, st, watch);
+    return solution;
+  }
+
+ private:
+  // ---- setup ----
+
+  void build_columns() {
+    cols_.assign(n_total_, {});
+    for (int r = 0; r < m_; ++r) {
+      for (const auto& [var, coeff] : model_.row(r).coefficients) {
+        if (coeff != 0.0) cols_[var].push_back({r, coeff});
+      }
+      cols_[n_struct_ + r].push_back({r, -1.0});  // slack: a.x - s = 0
+      cols_[n_real_ + r].push_back({r, 1.0});     // artificial sign set at start
+    }
+  }
+
+  void build_bounds() {
+    lb_.assign(n_total_, 0.0);
+    ub_.assign(n_total_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
+      lb_[j] = model_.variable(j).lower;
+      ub_[j] = model_.variable(j).upper;
+    }
+    for (int r = 0; r < m_; ++r) {
+      lb_[n_struct_ + r] = model_.row(r).lower;
+      ub_[n_struct_ + r] = model_.row(r).upper;
+    }
+    for (int r = 0; r < m_; ++r) {
+      lb_[n_real_ + r] = 0.0;
+      ub_[n_real_ + r] = kInfinity;
+    }
+  }
+
+  /// Nonbasic resting value for variable j: the finite bound nearest
+  /// zero, or zero for free variables.
+  double resting_value(int j, VarStatus* status_out) const {
+    const bool lo_finite = std::isfinite(lb_[j]);
+    const bool hi_finite = std::isfinite(ub_[j]);
+    if (lo_finite && hi_finite) {
+      if (std::abs(lb_[j]) <= std::abs(ub_[j])) {
+        *status_out = VarStatus::kAtLower;
+        return lb_[j];
+      }
+      *status_out = VarStatus::kAtUpper;
+      return ub_[j];
+    }
+    if (lo_finite) {
+      *status_out = VarStatus::kAtLower;
+      return lb_[j];
+    }
+    if (hi_finite) {
+      *status_out = VarStatus::kAtUpper;
+      return ub_[j];
+    }
+    *status_out = VarStatus::kNonbasicFree;
+    return 0.0;
+  }
+
+  void cold_start() {
+    status_.assign(n_total_, VarStatus::kAtLower);
+    val_.assign(n_total_, 0.0);
+    for (int j = 0; j < n_real_; ++j) {
+      VarStatus st{};
+      val_[j] = resting_value(j, &st);
+      status_[j] = st;
+    }
+    // Residual of A z = 0 given nonbasic values; artificials absorb it.
+    std::vector<double> residual(m_, 0.0);
+    for (int j = 0; j < n_real_; ++j) {
+      if (val_[j] == 0.0) continue;
+      for (const auto& [r, coeff] : cols_[j]) residual[r] -= coeff * val_[j];
+    }
+    basis_.resize(m_);
+    needs_phase1_ = false;
+    for (int r = 0; r < m_; ++r) {
+      const int art = n_real_ + r;
+      cols_[art][0].second = residual[r] >= 0.0 ? 1.0 : -1.0;
+      val_[art] = std::abs(residual[r]);
+      status_[art] = VarStatus::kBasic;
+      basis_[r] = art;
+      if (val_[art] > options_.feasibility_tolerance) needs_phase1_ = true;
+    }
+    if (!refactor()) {
+      throw std::logic_error("Simplex: artificial basis must be invertible");
+    }
+    compute_basic_values();
+  }
+
+  enum class WarmState { kNone, kPrimalFeasible, kBasisOnly };
+
+  WarmState try_warm_start() {
+    const Basis* warm = options_.warm_start;
+    if (warm == nullptr || warm->statuses.size() != static_cast<std::size_t>(n_real_)) {
+      return WarmState::kNone;
+    }
+    status_.assign(n_total_, VarStatus::kAtLower);
+    val_.assign(n_total_, 0.0);
+    basis_.clear();
+    for (int j = 0; j < n_real_; ++j) {
+      const VarStatus st = warm->statuses[j];
+      if (st == VarStatus::kBasic) {
+        basis_.push_back(j);
+        status_[j] = VarStatus::kBasic;
+        continue;
+      }
+      VarStatus snapped{};
+      double v = 0.0;
+      switch (st) {
+        case VarStatus::kAtLower:
+          if (!std::isfinite(lb_[j])) { v = resting_value(j, &snapped); break; }
+          snapped = VarStatus::kAtLower; v = lb_[j];
+          break;
+        case VarStatus::kAtUpper:
+          if (!std::isfinite(ub_[j])) { v = resting_value(j, &snapped); break; }
+          snapped = VarStatus::kAtUpper; v = ub_[j];
+          break;
+        default:
+          v = resting_value(j, &snapped);
+      }
+      status_[j] = snapped;
+      val_[j] = v;
+    }
+    if (static_cast<int>(basis_.size()) != m_) return WarmState::kNone;
+    for (int r = 0; r < m_; ++r) {
+      status_[n_real_ + r] = VarStatus::kAtLower;  // artificials parked at 0
+      val_[n_real_ + r] = 0.0;
+    }
+    if (!refactor()) return WarmState::kNone;
+    compute_basic_values();
+    needs_phase1_ = false;
+    for (int r = 0; r < m_; ++r) {
+      const int j = basis_[r];
+      if (val_[j] < lb_[j] - options_.feasibility_tolerance ||
+          val_[j] > ub_[j] + options_.feasibility_tolerance) {
+        return WarmState::kBasisOnly;  // valid basis, primal infeasible
+      }
+    }
+    return WarmState::kPrimalFeasible;
+  }
+
+  /// Dual simplex repair from a dual-feasible basis. Returns:
+  ///   kOptimal        — primal feasibility restored (dual feasibility
+  ///                     maintained, so the point is optimal up to a
+  ///                     cleanup primal pass);
+  ///   kInfeasible     — a row proves the LP primal infeasible;
+  ///   kTime/IterLimit — resource limits;
+  ///   nullopt         — not dual feasible / too many degenerate pivots:
+  ///                     caller should cold start.
+  std::optional<SolveStatus> dual_iterate(const Stopwatch& watch) {
+    std::vector<double> y, d(n_total_, 0.0), w;
+    // Initial dual feasibility check against phase-2 costs.
+    compute_duals(y);
+    for (int j = 0; j < n_total_; ++j) {
+      if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
+      double dj = cost_[j];
+      for (const auto& [r, coeff] : cols_[j]) dj -= y[r] * coeff;
+      const double slack = 1e-6;
+      if ((status_[j] == VarStatus::kAtLower && dj < -slack) ||
+          (status_[j] == VarStatus::kAtUpper && dj > slack) ||
+          (status_[j] == VarStatus::kNonbasicFree && std::abs(dj) > slack)) {
+        return std::nullopt;
+      }
+    }
+
+    long dual_pivots = 0;
+    const long pivot_cap = 4L * m_ + 1000;
+    int pivots_since_refactor = 0;
+    for (;;) {
+      if (watch.seconds() > options_.time_limit_seconds) {
+        return SolveStatus::kTimeLimit;
+      }
+      if (iterations_ >= options_.max_iterations) {
+        return SolveStatus::kIterationLimit;
+      }
+      if (++dual_pivots > pivot_cap) return std::nullopt;
+      ++iterations_;
+
+      // Leaving variable: the most bound-violated basic.
+      int p_leave = -1;
+      double worst = options_.feasibility_tolerance;
+      bool above_upper = false;
+      for (int p = 0; p < m_; ++p) {
+        const int bj = basis_[p];
+        const double over = val_[bj] - ub_[bj];
+        const double under = lb_[bj] - val_[bj];
+        if (over > worst) { worst = over; p_leave = p; above_upper = true; }
+        if (under > worst) { worst = under; p_leave = p; above_upper = false; }
+      }
+      if (p_leave < 0) return SolveStatus::kOptimal;  // primal feasible
+
+      compute_duals(y);
+      const double* rho = binv_.data() + static_cast<std::size_t>(p_leave) * m_;
+
+      // Entering variable: dual ratio test, min |d_j / alpha_j| over the
+      // columns that can move the leaving variable toward its bound.
+      int enter = -1;
+      double enter_alpha = 0.0;
+      double best_ratio = kInfinity;
+      for (int j = 0; j < n_total_; ++j) {
+        if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
+        double alpha = 0.0;
+        for (const auto& [r, coeff] : cols_[j]) alpha += rho[r] * coeff;
+        if (std::abs(alpha) < kPivotTolerance) continue;
+        bool eligible;
+        if (above_upper) {
+          // x_leave must decrease: AtLower columns with alpha > 0 (they
+          // increase), AtUpper with alpha < 0 (they decrease), free both.
+          eligible = (status_[j] == VarStatus::kAtLower && alpha > 0.0) ||
+                     (status_[j] == VarStatus::kAtUpper && alpha < 0.0) ||
+                     status_[j] == VarStatus::kNonbasicFree;
+        } else {
+          eligible = (status_[j] == VarStatus::kAtLower && alpha < 0.0) ||
+                     (status_[j] == VarStatus::kAtUpper && alpha > 0.0) ||
+                     status_[j] == VarStatus::kNonbasicFree;
+        }
+        if (!eligible) continue;
+        double dj = cost_[j];
+        for (const auto& [r, coeff] : cols_[j]) dj -= y[r] * coeff;
+        const double ratio = std::abs(dj / alpha);
+        if (ratio < best_ratio - 1e-12 ||
+            (ratio < best_ratio + 1e-12 && enter >= 0 &&
+             std::abs(alpha) > std::abs(enter_alpha))) {
+          best_ratio = ratio;
+          enter = j;
+          enter_alpha = alpha;
+        }
+      }
+      if (enter < 0) return SolveStatus::kInfeasible;  // dual ray: no primal point
+
+      ftran(enter, w);
+      const int leave = basis_[p_leave];
+      const double target = above_upper ? ub_[leave] : lb_[leave];
+      const double t_enter = (val_[leave] - target) / enter_alpha;
+      val_[enter] += t_enter;
+      for (int p = 0; p < m_; ++p) {
+        if (w[p] != 0.0) val_[basis_[p]] -= t_enter * w[p];
+      }
+      status_[leave] = above_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+      val_[leave] = target;
+      status_[enter] = VarStatus::kBasic;
+      basis_[p_leave] = enter;
+
+      const double inv_pivot = 1.0 / w[p_leave];
+      double* prow = binv_.data() + static_cast<std::size_t>(p_leave) * m_;
+      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
+      for (int p = 0; p < m_; ++p) {
+        if (p == p_leave || w[p] == 0.0) continue;
+        double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+        const double factor = w[p];
+        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+      }
+      if (++pivots_since_refactor >= options_.refactor_interval) {
+        pivots_since_refactor = 0;
+        if (!refactor()) return std::nullopt;
+        compute_basic_values();
+      }
+    }
+  }
+
+  void set_phase1_costs() {
+    cost_.assign(n_total_, 0.0);
+    for (int r = 0; r < m_; ++r) cost_[n_real_ + r] = 1.0;
+  }
+
+  void set_phase2_costs() {
+    cost_.assign(n_total_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) cost_[j] = model_.variable(j).objective;
+  }
+
+  void fix_artificials() {
+    for (int r = 0; r < m_; ++r) {
+      const int art = n_real_ + r;
+      ub_[art] = 0.0;
+      if (status_[art] != VarStatus::kBasic) {
+        status_[art] = VarStatus::kAtLower;
+        val_[art] = 0.0;
+      } else {
+        val_[art] = std::min(val_[art], 0.0);
+        val_[art] = std::max(val_[art], 0.0);
+      }
+    }
+  }
+
+  double phase_objective() const {
+    double total = 0.0;
+    for (int r = 0; r < m_; ++r) total += val_[n_real_ + r];
+    return total;
+  }
+
+  // ---- basis linear algebra (dense inverse) ----
+
+  bool refactor() {
+    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+    std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      for (const auto& [r, coeff] : cols_[basis_[p]]) {
+        mat[static_cast<std::size_t>(r) * m_ + p] = coeff;
+      }
+    }
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    for (int col = 0; col < m_; ++col) {
+      int pivot_row = col;
+      double best = std::abs(mat[static_cast<std::size_t>(col) * m_ + col]);
+      for (int r = col + 1; r < m_; ++r) {
+        const double cand = std::abs(mat[static_cast<std::size_t>(r) * m_ + col]);
+        if (cand > best) { best = cand; pivot_row = r; }
+      }
+      if (best < kPivotTolerance) return false;  // singular basis
+      if (pivot_row != col) {
+        for (int c = 0; c < m_; ++c) {
+          std::swap(mat[static_cast<std::size_t>(pivot_row) * m_ + c],
+                    mat[static_cast<std::size_t>(col) * m_ + c]);
+          std::swap(binv_[static_cast<std::size_t>(pivot_row) * m_ + c],
+                    binv_[static_cast<std::size_t>(col) * m_ + c]);
+        }
+      }
+      const double inv_pivot = 1.0 / mat[static_cast<std::size_t>(col) * m_ + col];
+      for (int c = 0; c < m_; ++c) {
+        mat[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
+        binv_[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = mat[static_cast<std::size_t>(r) * m_ + col];
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m_; ++c) {
+          mat[static_cast<std::size_t>(r) * m_ + c] -=
+              factor * mat[static_cast<std::size_t>(col) * m_ + c];
+          binv_[static_cast<std::size_t>(r) * m_ + c] -=
+              factor * binv_[static_cast<std::size_t>(col) * m_ + c];
+        }
+      }
+    }
+    return true;
+  }
+
+  void compute_basic_values() {
+    // x_B = B^{-1} (0 - N x_N).
+    std::vector<double> rhs(m_, 0.0);
+    for (int j = 0; j < n_total_; ++j) {
+      if (status_[j] == VarStatus::kBasic || val_[j] == 0.0) continue;
+      for (const auto& [r, coeff] : cols_[j]) rhs[r] -= coeff * val_[j];
+    }
+    for (int p = 0; p < m_; ++p) {
+      double value = 0.0;
+      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+      for (int r = 0; r < m_; ++r) value += row[r] * rhs[r];
+      val_[basis_[p]] = value;
+    }
+  }
+
+  /// w = B^{-1} a_j.
+  void ftran(int j, std::vector<double>& w) const {
+    w.assign(m_, 0.0);
+    for (const auto& [r, coeff] : cols_[j]) {
+      const double c = coeff;
+      for (int p = 0; p < m_; ++p) {
+        w[p] += binv_[static_cast<std::size_t>(p) * m_ + r] * c;
+      }
+    }
+  }
+
+  /// y = (c_B^T B^{-1})^T.
+  void compute_duals(std::vector<double>& y) const {
+    y.assign(m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      const double cb = cost_[basis_[p]];
+      if (cb == 0.0) continue;
+      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+      for (int r = 0; r < m_; ++r) y[r] += cb * row[r];
+    }
+  }
+
+  // ---- main loop ----
+
+  SolveStatus iterate(const Stopwatch& watch, bool phase1) {
+    std::vector<double> y, w;
+    int degenerate_streak = 0;
+    int pivots_since_refactor = 0;
+    for (;;) {
+      if (iterations_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
+      if (watch.seconds() > options_.time_limit_seconds) return SolveStatus::kTimeLimit;
+      ++iterations_;
+
+      compute_duals(y);
+      const bool bland = degenerate_streak > 256;
+      int entering = -1;
+      int entering_dir = 0;
+      double best_violation = options_.optimality_tolerance;
+      for (int j = 0; j < n_total_; ++j) {
+        if (status_[j] == VarStatus::kBasic) continue;
+        if (lb_[j] == ub_[j]) continue;  // fixed (incl. retired artificials)
+        double d = cost_[j];
+        for (const auto& [r, coeff] : cols_[j]) d -= y[r] * coeff;
+        int dir = 0;
+        double violation = 0.0;
+        if (status_[j] == VarStatus::kAtLower && d < -options_.optimality_tolerance) {
+          dir = +1; violation = -d;
+        } else if (status_[j] == VarStatus::kAtUpper && d > options_.optimality_tolerance) {
+          dir = -1; violation = d;
+        } else if (status_[j] == VarStatus::kNonbasicFree &&
+                   std::abs(d) > options_.optimality_tolerance) {
+          dir = d < 0.0 ? +1 : -1; violation = std::abs(d);
+        }
+        if (dir == 0) continue;
+        if (bland) { entering = j; entering_dir = dir; break; }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering < 0) return SolveStatus::kOptimal;
+
+      ftran(entering, w);
+
+      // Ratio test: largest step t >= 0 for x_entering moving `dir`.
+      double t_limit = ub_[entering] - lb_[entering];  // own span (may be inf)
+      int leaving_pos = -1;
+      double leaving_pivot = 0.0;
+      for (int p = 0; p < m_; ++p) {
+        const double delta = entering_dir * w[p];
+        if (std::abs(delta) < kPivotTolerance) continue;
+        const int bj = basis_[p];
+        double ratio;
+        if (delta > 0.0) {
+          if (!std::isfinite(lb_[bj])) continue;
+          ratio = (val_[bj] - lb_[bj]) / delta;
+        } else {
+          if (!std::isfinite(ub_[bj])) continue;
+          ratio = (val_[bj] - ub_[bj]) / delta;
+        }
+        ratio = std::max(ratio, 0.0);
+        const bool better =
+            ratio < t_limit - 1e-12 ||
+            (ratio < t_limit + 1e-12 && leaving_pos >= 0 &&
+             (bland ? basis_[p] < basis_[leaving_pos]
+                    : std::abs(w[p]) > std::abs(leaving_pivot)));
+        if (leaving_pos < 0 ? ratio < t_limit : better) {
+          t_limit = ratio;
+          leaving_pos = p;
+          leaving_pivot = w[p];
+        }
+      }
+
+      if (!std::isfinite(t_limit)) {
+        return phase1 ? SolveStatus::kInfeasible  // cannot happen: phase-1 bounded
+                      : SolveStatus::kUnbounded;
+      }
+
+      degenerate_streak = t_limit < 1e-10 ? degenerate_streak + 1 : 0;
+
+      // Apply the step to the entering variable and the basics.
+      val_[entering] += entering_dir * t_limit;
+      if (t_limit > 0.0) {
+        for (int p = 0; p < m_; ++p) {
+          if (w[p] != 0.0) val_[basis_[p]] -= entering_dir * t_limit * w[p];
+        }
+      }
+
+      if (leaving_pos < 0) {
+        // Bound flip: entering traveled its whole span, no basis change.
+        status_[entering] =
+            entering_dir > 0 ? VarStatus::kAtUpper : VarStatus::kAtLower;
+        val_[entering] = entering_dir > 0 ? ub_[entering] : lb_[entering];
+        continue;
+      }
+
+      const int leaving = basis_[leaving_pos];
+      const double delta = entering_dir * leaving_pivot;
+      status_[leaving] = delta > 0.0 ? VarStatus::kAtLower : VarStatus::kAtUpper;
+      val_[leaving] = delta > 0.0 ? lb_[leaving] : ub_[leaving];
+      status_[entering] = VarStatus::kBasic;
+      basis_[leaving_pos] = entering;
+
+      // Product-form update of the dense inverse.
+      const double inv_pivot = 1.0 / leaving_pivot;
+      double* prow = binv_.data() + static_cast<std::size_t>(leaving_pos) * m_;
+      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
+      for (int p = 0; p < m_; ++p) {
+        if (p == leaving_pos || w[p] == 0.0) continue;
+        double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+        const double factor = w[p];
+        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+      }
+
+      if (++pivots_since_refactor >= options_.refactor_interval) {
+        pivots_since_refactor = 0;
+        if (!refactor()) {
+          throw std::logic_error("Simplex: basis became singular");
+        }
+        compute_basic_values();
+      }
+    }
+  }
+
+  /// Swap basic artificials (parked at zero) for real columns via
+  /// degenerate pivots so the exported basis is expressible over
+  /// structural + slack variables and therefore warm-startable.
+  void purge_artificials() {
+    for (int p = 0; p < m_; ++p) {
+      if (basis_[p] < n_real_) continue;
+      const double* rho = binv_.data() + static_cast<std::size_t>(p) * m_;
+      int enter = -1;
+      double enter_pivot = 0.0;
+      for (int j = 0; j < n_real_; ++j) {
+        if (status_[j] == VarStatus::kBasic) continue;
+        double pivot = 0.0;
+        for (const auto& [r, coeff] : cols_[j]) pivot += rho[r] * coeff;
+        if (std::abs(pivot) > 1e-7 && std::abs(pivot) > std::abs(enter_pivot)) {
+          enter = j;
+          enter_pivot = pivot;
+          if (std::abs(enter_pivot) > 0.1) break;  // good enough
+        }
+      }
+      if (enter < 0) continue;  // redundant row: artificial must stay
+      std::vector<double> w;
+      ftran(enter, w);
+      const int leave = basis_[p];
+      status_[leave] = VarStatus::kAtLower;
+      val_[leave] = 0.0;
+      status_[enter] = VarStatus::kBasic;
+      basis_[p] = enter;
+      const double inv_pivot = 1.0 / w[p];
+      double* prow = binv_.data() + static_cast<std::size_t>(p) * m_;
+      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
+      for (int q = 0; q < m_; ++q) {
+        if (q == p || w[q] == 0.0) continue;
+        double* row = binv_.data() + static_cast<std::size_t>(q) * m_;
+        const double factor = w[q];
+        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+      }
+    }
+  }
+
+  void finish(Solution& solution, SolveStatus status, const Stopwatch& watch) {
+    solution.status = status;
+    solution.iterations = iterations_;
+    solution.solve_seconds = watch.seconds();
+    if (status == SolveStatus::kOptimal) {
+      purge_artificials();
+      solution.x.assign(val_.begin(), val_.begin() + n_struct_);
+      double obj = 0.0;
+      for (int j = 0; j < n_struct_; ++j) obj += model_.variable(j).objective * val_[j];
+      solution.objective = obj;
+      solution.basis.statuses.assign(status_.begin(), status_.begin() + n_real_);
+    }
+  }
+
+  const Model& model_;
+  const SimplexOptions& options_;
+  int n_struct_ = 0;
+  int m_ = 0;
+  int n_real_ = 0;
+  int n_total_ = 0;
+  bool needs_phase1_ = true;
+  long iterations_ = 0;
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> lb_, ub_, cost_, val_;
+  std::vector<VarStatus> status_;
+  std::vector<int> basis_;       // variable index per basis position
+  std::vector<double> binv_;     // dense m x m basis inverse
+};
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  model.validate();
+  try {
+    Simplex simplex(model, options);
+    return simplex.run();
+  } catch (const std::logic_error&) {
+    // Numerically singular basis from accumulated product-form drift.
+    // Retry once, cold, with frequent refactorization; if even that
+    // fails, report a resource-limit status instead of crashing the
+    // caller (branch-and-bound treats it like any other failed node).
+    SimplexOptions conservative = options;
+    conservative.warm_start = nullptr;
+    conservative.refactor_interval = 50;
+    try {
+      Simplex retry(model, conservative);
+      return retry.run();
+    } catch (const std::logic_error&) {
+      Solution failed;
+      failed.status = SolveStatus::kIterationLimit;
+      return failed;
+    }
+  }
+}
+
+}  // namespace np::lp

@@ -1,0 +1,88 @@
+// Two-phase bounded-variable revised simplex.
+//
+// The model  min c^T x,  lo_r <= a_r.x <= hi_r,  lb <= x <= ub  is put in
+// the computational form  A z = 0  by introducing one slack per row
+// (a_r.x - s_r = 0 with s_r in [lo_r, hi_r]). Phase 1 starts from an
+// all-artificial basis and minimizes the artificial sum; phase 2 fixes
+// artificials to zero and optimizes the real objective. The basis
+// inverse is kept dense and refactorized periodically (and on pivots
+// whose residual check fails), Dantzig pricing with an automatic Bland
+// fallback guards against cycling, and the ratio test supports bound
+// flips.
+//
+// Scale target: the NeuroPlan plan-evaluator feasibility LPs (hundreds
+// of rows, a few thousand columns) and the pruned planning ILPs solved
+// by np::milp. This plays the role Gurobi plays in the paper.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "lp/model.hpp"
+
+namespace np::lp {
+
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+  kTimeLimit,
+};
+
+const char* to_string(SolveStatus status);
+
+/// Simplex status of one variable (structural or slack) in a basis.
+enum class VarStatus : std::uint8_t {
+  kBasic,
+  kAtLower,
+  kAtUpper,
+  kNonbasicFree,  // free variable held at zero
+};
+
+/// Warm-start basis: one status per structural variable followed by one
+/// per row slack (size = num_variables + num_rows). The solver verifies
+/// it (count of basics, nonsingularity) and silently falls back to a
+/// cold start when invalid — warm starts are an optimization, never a
+/// correctness requirement.
+struct Basis {
+  std::vector<VarStatus> statuses;
+  bool empty() const { return statuses.empty(); }
+};
+
+struct SimplexOptions {
+  double feasibility_tolerance = 1e-7;
+  double optimality_tolerance = 1e-7;
+  long max_iterations = 200000;
+  double time_limit_seconds = kInfinity;
+  const Basis* warm_start = nullptr;
+  /// Refactorize the basis inverse every this many pivots. Product-form
+  /// updates stay accurate for hundreds of pivots on well-scaled
+  /// models; refactorization is O(m^3), so a small interval dominates
+  /// solve time on LPs with many rows.
+  int refactor_interval = 400;
+};
+
+/// Which start the solver ended up using (telemetry for tuning).
+enum class StartPath {
+  kCold,         // two-phase from scratch
+  kWarmPrimal,   // warm basis was primal feasible
+  kDualRepair,   // warm basis repaired by the dual simplex
+  kWarmFailed,   // warm basis rejected or repair gave up -> cold
+};
+
+struct Solution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+  double objective = 0.0;
+  std::vector<double> x;   // structural variable values (empty unless optimal)
+  Basis basis;             // final basis for warm starts
+  long iterations = 0;
+  double solve_seconds = 0.0;
+  StartPath start_path = StartPath::kCold;
+};
+
+/// Solve the model. Integer markers on variables are ignored (this is
+/// the LP relaxation); np::milp layers integrality on top.
+Solution solve(const Model& model, const SimplexOptions& options = {});
+
+}  // namespace np::lp

@@ -1,0 +1,349 @@
+#include "milp/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <memory>
+#include <queue>
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace np::milp {
+
+const char* to_string(MilpStatus status) {
+  switch (status) {
+    case MilpStatus::kOptimal: return "optimal";
+    case MilpStatus::kInfeasible: return "infeasible";
+    case MilpStatus::kTimeLimit: return "time-limit";
+    case MilpStatus::kNodeLimit: return "node-limit";
+    case MilpStatus::kUnbounded: return "unbounded";
+  }
+  return "unknown";
+}
+
+namespace {
+
+/// One branching decision; nodes share ancestors through shared_ptr
+/// chains so storing a node is O(1) instead of O(num integer vars).
+struct BoundChange {
+  std::shared_ptr<const BoundChange> parent;
+  int variable = -1;
+  bool is_upper = false;
+  double value = 0.0;
+};
+
+struct Node {
+  std::shared_ptr<const BoundChange> chain;
+  double bound = -lp::kInfinity;  // parent LP bound (lower bound on subtree)
+  int depth = 0;
+  /// Parent's optimal basis: dual feasible for the child (only a bound
+  /// changed), so the child LP re-solves via the dual simplex in a few
+  /// pivots instead of a cold two-phase run.
+  std::shared_ptr<const lp::Basis> parent_basis;
+};
+
+struct NodeOrder {
+  bool operator()(const Node& a, const Node& b) const {
+    if (a.bound != b.bound) return a.bound > b.bound;  // min-heap on bound
+    return a.depth < b.depth;                          // tie-break: deeper first
+  }
+};
+
+class BranchAndBound {
+ public:
+  BranchAndBound(const lp::Model& model, const MilpOptions& options)
+      : model_(model), options_(options), work_(model) {
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.variable(j).is_integer) integer_vars_.push_back(j);
+    }
+  }
+
+  MilpResult run() {
+    Stopwatch watch;
+    MilpResult result;
+    try_warm_start(result);
+    try_integer_warm_start(result, watch);
+
+    std::priority_queue<Node, std::vector<Node>, NodeOrder> open;
+    open.push(Node{});
+    double best_open_bound = -lp::kInfinity;
+
+    while (!open.empty()) {
+      if (watch.seconds() > options_.time_limit_seconds) {
+        return finish(result, MilpStatus::kTimeLimit, best_open_bound, watch);
+      }
+      if (result.nodes_explored >= options_.max_nodes) {
+        return finish(result, MilpStatus::kNodeLimit, best_open_bound, watch);
+      }
+      Node node = open.top();
+      open.pop();
+      best_open_bound = node.bound;
+      if (result.has_incumbent &&
+          node.bound >= result.objective - absolute_gap_slack(result.objective)) {
+        continue;  // pruned by bound
+      }
+      ++result.nodes_explored;
+
+      if (!apply_bounds(node.chain)) continue;
+      lp::SimplexOptions lp_opts = options_.lp_options;
+      const double remaining = options_.time_limit_seconds - watch.seconds();
+      lp_opts.time_limit_seconds = std::min(lp_opts.time_limit_seconds, remaining);
+      if (node.parent_basis != nullptr) lp_opts.warm_start = node.parent_basis.get();
+      lp::Solution relax = lp::solve(work_, lp_opts);
+      result.lp_iterations += relax.iterations;
+
+      if (relax.status == lp::SolveStatus::kTimeLimit) {
+        return finish(result, MilpStatus::kTimeLimit, best_open_bound, watch);
+      }
+      if (relax.status == lp::SolveStatus::kUnbounded) {
+        if (node.depth == 0 && !result.has_incumbent) {
+          result.status = MilpStatus::kUnbounded;
+          result.solve_seconds = watch.seconds();
+          return result;
+        }
+        // An unbounded subproblem with an incumbent cannot be pruned
+        // soundly in general, but with bounded integer variables (our
+        // planning models) it means the continuous part is unbounded
+        // and the whole MILP is too.
+        result.status = MilpStatus::kUnbounded;
+        result.solve_seconds = watch.seconds();
+        return result;
+      }
+      if (relax.status != lp::SolveStatus::kOptimal) continue;  // infeasible node
+
+      if (result.has_incumbent &&
+          relax.objective >= result.objective - absolute_gap_slack(result.objective)) {
+        continue;
+      }
+
+      const int branch_var = most_fractional(relax.x);
+      if (branch_var < 0) {
+        // Integral: new incumbent.
+        accept_incumbent(result, relax.x, relax.objective);
+        if (gap_closed(result, open.empty() ? relax.objective : best_open_bound)) {
+          return finish(result, MilpStatus::kOptimal, best_open_bound, watch);
+        }
+        continue;
+      }
+
+      if (options_.heuristic_interval > 0 &&
+          result.nodes_explored % options_.heuristic_interval == 1) {
+        rounding_heuristic(result, relax.x, watch);
+      }
+
+      const double value = relax.x[branch_var];
+      auto basis = std::make_shared<const lp::Basis>(std::move(relax.basis));
+      Node down{std::make_shared<BoundChange>(BoundChange{
+                    node.chain, branch_var, /*is_upper=*/true, std::floor(value)}),
+                relax.objective, node.depth + 1, basis};
+      Node up{std::make_shared<BoundChange>(BoundChange{
+                  node.chain, branch_var, /*is_upper=*/false, std::ceil(value)}),
+              relax.objective, node.depth + 1, basis};
+      open.push(std::move(down));
+      open.push(std::move(up));
+    }
+
+    // Queue exhausted: the incumbent (if any) is optimal.
+    if (result.has_incumbent) {
+      return finish(result, MilpStatus::kOptimal, result.objective, watch);
+    }
+    result.status = MilpStatus::kInfeasible;
+    result.best_bound = lp::kInfinity;
+    result.solve_seconds = watch.seconds();
+    return result;
+  }
+
+ private:
+  double absolute_gap_slack(double incumbent) const {
+    return options_.relative_gap * std::max(1.0, std::abs(incumbent));
+  }
+
+  bool gap_closed(const MilpResult& result, double bound) const {
+    if (!result.has_incumbent) return false;
+    return result.objective - bound <= absolute_gap_slack(result.objective);
+  }
+
+  void try_warm_start(MilpResult& result) {
+    const std::vector<double>* start = options_.warm_start;
+    if (start == nullptr) return;
+    if (start->size() != static_cast<std::size_t>(model_.num_variables())) {
+      log_warn("milp: warm start has wrong size; ignored");
+      return;
+    }
+    for (int j : integer_vars_) {
+      if (std::abs((*start)[j] - std::round((*start)[j])) >
+          options_.integrality_tolerance) {
+        log_warn("milp: warm start not integral; ignored");
+        return;
+      }
+    }
+    if (model_.max_violation(*start) > 1e-6) {
+      log_warn("milp: warm start infeasible; ignored");
+      return;
+    }
+    result.has_incumbent = true;
+    result.x = *start;
+    result.objective = model_.objective_value(*start);
+  }
+
+  void try_integer_warm_start(MilpResult& result, const Stopwatch& watch) {
+    const std::vector<double>* start = options_.integer_warm_start;
+    if (start == nullptr) return;
+    if (start->size() != static_cast<std::size_t>(model_.num_variables())) {
+      log_warn("milp: integer warm start has wrong size; ignored");
+      return;
+    }
+    std::vector<std::pair<double, double>> saved;
+    saved.reserve(integer_vars_.size());
+    bool applicable = true;
+    for (int j : integer_vars_) {
+      const lp::Variable& v = work_.variable(j);
+      saved.emplace_back(v.lower, v.upper);
+      double fixed = std::round((*start)[j]);
+      fixed = std::min(fixed, v.upper);
+      fixed = std::max(fixed, v.lower);
+      if (std::abs(fixed - std::round(fixed)) > options_.integrality_tolerance) {
+        applicable = false;
+        break;
+      }
+      work_.set_variable_bounds(j, fixed, fixed);
+    }
+    if (applicable) {
+      lp::SimplexOptions lp_opts = options_.lp_options;
+      lp_opts.time_limit_seconds =
+          std::min(lp_opts.time_limit_seconds,
+                   options_.time_limit_seconds - watch.seconds());
+      lp::Solution fixed = lp::solve(work_, lp_opts);
+      result.lp_iterations += fixed.iterations;
+      if (fixed.status == lp::SolveStatus::kOptimal) {
+        accept_incumbent(result, fixed.x, fixed.objective);
+      }
+    }
+    for (std::size_t k = 0; k < saved.size(); ++k) {
+      work_.set_variable_bounds(integer_vars_[k], saved[k].first, saved[k].second);
+    }
+  }
+
+  /// Returns false when the replayed chain produces an empty box (the
+  /// node is trivially infeasible and should be discarded).
+  bool apply_bounds(const std::shared_ptr<const BoundChange>& chain) {
+    // Reset integer bounds to the originals, then replay the chain
+    // root-to-leaf so deeper (tighter) decisions win.
+    for (int j : integer_vars_) {
+      const lp::Variable& v = model_.variable(j);
+      work_.set_variable_bounds(j, v.lower, v.upper);
+    }
+    std::vector<const BoundChange*> stack;
+    for (const BoundChange* c = chain.get(); c != nullptr; c = c->parent.get()) {
+      stack.push_back(c);
+    }
+    for (auto it = stack.rbegin(); it != stack.rend(); ++it) {
+      const BoundChange& c = **it;
+      const lp::Variable& v = work_.variable(c.variable);
+      double lo = v.lower, hi = v.upper;
+      if (c.is_upper) hi = std::min(hi, c.value);
+      else lo = std::max(lo, c.value);
+      if (lo > hi) return false;
+      work_.set_variable_bounds(c.variable, lo, hi);
+    }
+    return true;
+  }
+
+  int most_fractional(const std::vector<double>& x) const {
+    // Cost-weighted most-fractional branching: a wrong rounding on an
+    // expensive variable moves the objective more, so settle those
+    // first. Falls back to plain fractionality on zero-cost variables.
+    int best = -1;
+    double best_score = 0.0;
+    for (int j : integer_vars_) {
+      const double frac = x[j] - std::floor(x[j]);
+      const double dist = std::min(frac, 1.0 - frac);
+      if (dist <= options_.integrality_tolerance) continue;
+      const double score =
+          dist * (std::abs(model_.variable(j).objective) + 1e-9);
+      if (best < 0 || score > best_score) {
+        best_score = score;
+        best = j;
+      }
+    }
+    return best;
+  }
+
+  /// Fix every integer variable to round(x_j), re-solve the continuous
+  /// LP; an optimal result is a new incumbent candidate.
+  void rounding_heuristic(MilpResult& result, const std::vector<double>& x,
+                          const Stopwatch& watch) {
+    std::vector<std::pair<double, double>> saved;
+    saved.reserve(integer_vars_.size());
+    bool applicable = true;
+    for (int j : integer_vars_) {
+      const lp::Variable& v = work_.variable(j);
+      saved.emplace_back(v.lower, v.upper);
+      // Round up: capacity-style models stay feasible when capacities
+      // only grow. Clamp into the node box.
+      double fixed = std::ceil(x[j] - options_.integrality_tolerance);
+      fixed = std::min(fixed, v.upper);
+      fixed = std::max(fixed, v.lower);
+      if (std::abs(fixed - std::round(fixed)) > options_.integrality_tolerance) {
+        applicable = false;
+        break;
+      }
+      work_.set_variable_bounds(j, fixed, fixed);
+    }
+    if (applicable) {
+      lp::SimplexOptions lp_opts = options_.lp_options;
+      lp_opts.time_limit_seconds =
+          std::min(lp_opts.time_limit_seconds,
+                   options_.time_limit_seconds - watch.seconds());
+      lp::Solution fixed = lp::solve(work_, lp_opts);
+      result.lp_iterations += fixed.iterations;
+      if (fixed.status == lp::SolveStatus::kOptimal &&
+          (!result.has_incumbent || fixed.objective < result.objective)) {
+        accept_incumbent(result, fixed.x, fixed.objective);
+      }
+    }
+    for (std::size_t k = 0; k < saved.size(); ++k) {
+      work_.set_variable_bounds(integer_vars_[k], saved[k].first, saved[k].second);
+    }
+  }
+
+  void accept_incumbent(MilpResult& result, std::vector<double> x, double objective) {
+    if (result.has_incumbent && objective >= result.objective) return;
+    // Snap integer coordinates exactly.
+    for (int j : integer_vars_) x[j] = std::round(x[j]);
+    result.has_incumbent = true;
+    result.x = std::move(x);
+    result.objective = objective;
+    log_debug("milp: incumbent ", objective);
+  }
+
+  MilpResult finish(MilpResult& result, MilpStatus status, double bound,
+                    const Stopwatch& watch) {
+    result.status = status;
+    result.best_bound = status == MilpStatus::kOptimal && result.has_incumbent
+                            ? result.objective
+                            : bound;
+    if (result.has_incumbent) {
+      result.gap = (result.objective - result.best_bound) /
+                   std::max(1.0, std::abs(result.objective));
+      result.gap = std::max(result.gap, 0.0);
+    }
+    result.solve_seconds = watch.seconds();
+    return result;
+  }
+
+  const lp::Model& model_;
+  const MilpOptions& options_;
+  lp::Model work_;
+  std::vector<int> integer_vars_;
+};
+
+}  // namespace
+
+MilpResult solve(const lp::Model& model, const MilpOptions& options) {
+  model.validate();
+  BranchAndBound bnb(model, options);
+  return bnb.run();
+}
+
+}  // namespace np::milp

@@ -1,0 +1,64 @@
+// Mixed-integer linear programming by LP-based branch and bound.
+//
+// Layers integrality (Variable::is_integer) on top of the np::lp
+// simplex: best-first node selection on the LP bound, most-fractional
+// branching, a fix-and-resolve rounding heuristic to find incumbents
+// early, optional warm-start incumbents (the paper's §3.2 "warm-start
+// to feed potential feasible solutions to ILP solvers"), and time /
+// node / gap limits. This is the role Gurobi's MIP engine plays in the
+// paper; the pruned second-stage NeuroPlan ILPs and the exact/heuristic
+// baselines all run through it.
+#pragma once
+
+#include <vector>
+
+#include "lp/model.hpp"
+#include "lp/simplex.hpp"
+
+namespace np::milp {
+
+enum class MilpStatus {
+  kOptimal,        // proven optimal incumbent
+  kInfeasible,     // no integer-feasible point exists
+  kTimeLimit,      // stopped on time; incumbent may exist
+  kNodeLimit,      // stopped on node budget; incumbent may exist
+  kUnbounded,      // LP relaxation unbounded
+};
+
+const char* to_string(MilpStatus status);
+
+struct MilpOptions {
+  double integrality_tolerance = 1e-6;
+  /// Stop when (incumbent - bound) / max(1, |incumbent|) <= gap.
+  double relative_gap = 1e-6;
+  double time_limit_seconds = lp::kInfinity;
+  long max_nodes = 1000000;
+  /// Run the fix-integers-and-resolve rounding heuristic at the root
+  /// and then every this many nodes (0 disables).
+  int heuristic_interval = 20;
+  /// Optional integer-feasible starting point (size = num_variables).
+  const std::vector<double>* warm_start = nullptr;
+  /// Optional integer-only warm start (size = num_variables; continuous
+  /// entries ignored): the solver fixes the integer variables to these
+  /// values, re-solves the continuous LP, and accepts the result as the
+  /// initial incumbent when feasible. Unlike warm_start, this does not
+  /// require knowing the continuous part of a feasible point.
+  const std::vector<double>* integer_warm_start = nullptr;
+  lp::SimplexOptions lp_options;
+};
+
+struct MilpResult {
+  MilpStatus status = MilpStatus::kInfeasible;
+  bool has_incumbent = false;
+  double objective = 0.0;        // incumbent objective (when has_incumbent)
+  std::vector<double> x;         // incumbent point (when has_incumbent)
+  double best_bound = -lp::kInfinity;
+  double gap = lp::kInfinity;
+  long nodes_explored = 0;
+  long lp_iterations = 0;
+  double solve_seconds = 0.0;
+};
+
+MilpResult solve(const lp::Model& model, const MilpOptions& options = {});
+
+}  // namespace np::milp

@@ -1,0 +1,29 @@
+// Common interface for graph encoders so the actor-critic can swap the
+// GCN for the GAT the paper also evaluated (§4.2 "We have also
+// experimented NeuroPlan with a Graph Attention Network").
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ad/tape.hpp"
+#include "la/sparse.hpp"
+
+namespace np::nn {
+
+class GraphEncoder {
+ public:
+  virtual ~GraphEncoder() = default;
+
+  /// features: (n x in) -> embedding (n x output_dim()). The adjacency
+  /// is the normalized operator from topo::node_link_transform (its
+  /// sparsity pattern, including self loops, defines the neighborhoods).
+  virtual ad::Tensor forward(ad::Tape& tape,
+                             std::shared_ptr<const la::CsrMatrix> adjacency,
+                             ad::Tensor features) = 0;
+
+  virtual std::vector<ad::Parameter*> parameters() = 0;
+  virtual int output_dim() const = 0;
+};
+
+}  // namespace np::nn

@@ -1,0 +1,40 @@
+// Graph Convolutional Network encoder (Eq. 7 of the paper):
+//   H^{l+1} = ReLU( D^{-1/2} (A + I) D^{-1/2} H^l W^l ).
+// The normalized adjacency is precomputed once per topology by
+// topo::node_link_transform; only node features change per RL step.
+// Zero layers degrade to the identity encoder (the paper's Figure 10
+// "without GNN" ablation).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "nn/encoder.hpp"
+#include "nn/linear.hpp"
+
+namespace np::nn {
+
+class GcnEncoder final : public GraphEncoder {
+ public:
+  /// `layers` == 0 produces an identity encoder (output dim == input dim).
+  GcnEncoder(std::string name, int in_features, int hidden, int layers, Rng& rng);
+
+  /// features: (n x in) -> embedding (n x output_dim()).
+  ad::Tensor forward(ad::Tape& tape,
+                     std::shared_ptr<const la::CsrMatrix> normalized_adjacency,
+                     ad::Tensor features) override;
+
+  std::vector<ad::Parameter*> parameters() override;
+
+  int output_dim() const override {
+    return layers_.empty() ? in_features_ : hidden_;
+  }
+  int num_layers() const { return static_cast<int>(layers_.size()); }
+
+ private:
+  int in_features_;
+  int hidden_;
+  std::vector<Linear> layers_;
+};
+
+}  // namespace np::nn

@@ -1,0 +1,34 @@
+// Fully-connected layer y = x W + b applied row-wise, the building
+// block of the actor/critic MLPs (Figure 6 of the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ad/parameter.hpp"
+#include "ad/tape.hpp"
+#include "util/rng.hpp"
+
+namespace np::nn {
+
+class Linear {
+ public:
+  /// Kaiming-style initialization: W ~ N(0, sqrt(2 / fan_in)), b = 0.
+  Linear(std::string name, int in_features, int out_features, Rng& rng);
+
+  /// x: (rows x in) -> (rows x out). Registers parameters on the tape.
+  ad::Tensor forward(ad::Tape& tape, ad::Tensor x);
+
+  std::vector<ad::Parameter*> parameters();
+
+  int in_features() const { return in_features_; }
+  int out_features() const { return out_features_; }
+
+ private:
+  int in_features_;
+  int out_features_;
+  ad::Parameter weight_;
+  ad::Parameter bias_;
+};
+
+}  // namespace np::nn

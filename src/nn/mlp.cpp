@@ -1,0 +1,33 @@
+#include "nn/mlp.hpp"
+
+namespace np::nn {
+
+Mlp::Mlp(std::string name, int in_features, const std::vector<int>& hidden_sizes,
+         int out_features, Rng& rng) {
+  int in = in_features;
+  for (std::size_t i = 0; i < hidden_sizes.size(); ++i) {
+    layers_.emplace_back(name + ".fc" + std::to_string(i), in, hidden_sizes[i], rng);
+    in = hidden_sizes[i];
+  }
+  layers_.emplace_back(name + ".out", in, out_features, rng);
+}
+
+ad::Tensor Mlp::forward(ad::Tape& tape, ad::Tensor x) {
+  for (std::size_t i = 0; i + 1 < layers_.size(); ++i) {
+    x = tape.relu(layers_[i].forward(tape, x));
+  }
+  return layers_.back().forward(tape, x);
+}
+
+std::vector<ad::Parameter*> Mlp::parameters() {
+  std::vector<ad::Parameter*> params;
+  for (Linear& layer : layers_) {
+    for (ad::Parameter* p : layer.parameters()) params.push_back(p);
+  }
+  return params;
+}
+
+int Mlp::in_features() const { return layers_.front().in_features(); }
+int Mlp::out_features() const { return layers_.back().out_features(); }
+
+}  // namespace np::nn

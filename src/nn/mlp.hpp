@@ -1,0 +1,31 @@
+// Multilayer perceptron with ReLU activations between layers and a
+// linear output layer — the actor and critic heads of Figure 6.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "nn/linear.hpp"
+
+namespace np::nn {
+
+class Mlp {
+ public:
+  /// hidden_sizes may be empty (a single linear layer). The paper's
+  /// "MLP hidden layers {64x64, 256x256, 512x512}" maps to
+  /// hidden_sizes = {64, 64} etc. (Figure 11 sweep).
+  Mlp(std::string name, int in_features, const std::vector<int>& hidden_sizes,
+      int out_features, Rng& rng);
+
+  ad::Tensor forward(ad::Tape& tape, ad::Tensor x);
+
+  std::vector<ad::Parameter*> parameters();
+
+  int in_features() const;
+  int out_features() const;
+
+ private:
+  std::vector<Linear> layers_;
+};
+
+}  // namespace np::nn

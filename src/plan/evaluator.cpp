@@ -1,0 +1,79 @@
+#include "plan/evaluator.hpp"
+
+#include <stdexcept>
+
+namespace np::plan {
+
+const char* to_string(EvaluatorMode mode) {
+  switch (mode) {
+    case EvaluatorMode::kVanilla: return "vanilla";
+    case EvaluatorMode::kSourceAggregation: return "source-aggregation";
+    case EvaluatorMode::kStateful: return "stateful";
+  }
+  return "unknown";
+}
+
+PlanEvaluator::PlanEvaluator(const topo::Topology& topology, EvaluatorMode mode)
+    : topology_(topology), mode_(mode) {
+  topology_.validate();
+  cached_.resize(num_scenarios());
+  lp_options_.max_iterations = 1000000;
+}
+
+void PlanEvaluator::reset() { next_unchecked_ = 0; }
+
+CheckResult PlanEvaluator::check_scenario(int scenario,
+                                          const std::vector<int>& total_units) {
+  const bool aggregate = mode_ != EvaluatorMode::kVanilla;
+  CheckResult result;
+  if (mode_ == EvaluatorMode::kStateful) {
+    if (!cached_[scenario].has_value()) {
+      cached_[scenario] = build_scenario_lp(topology_, scenario, aggregate);
+    }
+    ScenarioLp& lp = *cached_[scenario];
+    set_plan_capacities(lp, topology_, total_units);
+    const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/true);
+    result.feasible = check.feasible;
+    result.unserved_gbps = check.unserved_gbps;
+    result.lp_iterations = check.lp_iterations;
+  } else {
+    ScenarioLp lp = build_scenario_lp(topology_, scenario, aggregate);
+    set_plan_capacities(lp, topology_, total_units);
+    const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/false);
+    result.feasible = check.feasible;
+    result.unserved_gbps = check.unserved_gbps;
+    result.lp_iterations = check.lp_iterations;
+  }
+  return result;
+}
+
+CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
+  if (total_units.size() != static_cast<std::size_t>(topology_.num_links())) {
+    throw std::invalid_argument("PlanEvaluator::check: unit vector size mismatch");
+  }
+  for (int l = 0; l < topology_.num_links(); ++l) {
+    if (total_units[l] < 0) {
+      throw std::invalid_argument("PlanEvaluator::check: negative units");
+    }
+  }
+  CheckResult aggregate;
+  const int start = mode_ == EvaluatorMode::kStateful ? next_unchecked_ : 0;
+  for (int scenario = start; scenario < num_scenarios(); ++scenario) {
+    const CheckResult one = check_scenario(scenario, total_units);
+    aggregate.lp_iterations += one.lp_iterations;
+    total_lp_iterations_ += one.lp_iterations;
+    ++aggregate.scenarios_checked;
+    if (!one.feasible) {
+      aggregate.feasible = false;
+      aggregate.violated_scenario = scenario;
+      aggregate.unserved_gbps = one.unserved_gbps;
+      if (mode_ == EvaluatorMode::kStateful) next_unchecked_ = scenario;
+      return aggregate;
+    }
+  }
+  aggregate.feasible = true;
+  if (mode_ == EvaluatorMode::kStateful) next_unchecked_ = num_scenarios();
+  return aggregate;
+}
+
+}  // namespace np::plan

@@ -1,0 +1,80 @@
+// Plan evaluator (Figure 3 / §5 of the paper).
+//
+// Checks whether a capacity plan satisfies the traffic demand under the
+// reliability policy across all failure scenarios, in one of three
+// implementations matching the paper's Figure 7 comparison:
+//
+//  * kVanilla            — per-flow commodities, every scenario LP is
+//                          rebuilt from scratch on every check.
+//  * kSourceAggregation  — per-source commodities (the SA optimization),
+//                          still rebuilding models each check.
+//  * kStateful           — SA plus stateful failure checking: scenario
+//                          models are built once and patched, scenarios
+//                          survived earlier in a monotone trajectory are
+//                          skipped, and solves warm-start from the
+//                          previous basis.
+//
+// Stateful mode relies on capacities never decreasing between checks of
+// one trajectory (the paper's only-add action design); call reset()
+// when a new trajectory starts from the initial topology.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "plan/scenario_lp.hpp"
+#include "topo/topology.hpp"
+
+namespace np::plan {
+
+enum class EvaluatorMode { kVanilla, kSourceAggregation, kStateful };
+
+const char* to_string(EvaluatorMode mode);
+
+struct CheckResult {
+  bool feasible = false;
+  /// First scenario that failed (kHealthyScenario..num_scenarios-1), or
+  /// -1 when feasible.
+  int violated_scenario = -1;
+  /// Unserved demand in the violated scenario (Gbps), 0 when feasible.
+  double unserved_gbps = 0.0;
+  int scenarios_checked = 0;
+  long lp_iterations = 0;
+};
+
+class PlanEvaluator {
+ public:
+  explicit PlanEvaluator(const topo::Topology& topology,
+                         EvaluatorMode mode = EvaluatorMode::kStateful);
+
+  /// Check the plan (per-link TOTAL units). Stops at the first violated
+  /// scenario. In kStateful mode assumes units are >= those of the
+  /// previous check since reset().
+  CheckResult check(const std::vector<int>& total_units);
+
+  /// Forget stateful progress (start of a new trajectory).
+  void reset();
+
+  /// Scenarios = 1 (healthy) + failures.
+  int num_scenarios() const { return topology_.num_failures() + 1; }
+
+  EvaluatorMode mode() const { return mode_; }
+  const topo::Topology& topology() const { return topology_; }
+
+  /// Cumulative simplex iterations since construction (efficiency metric).
+  long total_lp_iterations() const { return total_lp_iterations_; }
+
+ private:
+  CheckResult check_scenario(int scenario, const std::vector<int>& total_units);
+
+  const topo::Topology& topology_;
+  EvaluatorMode mode_;
+  lp::SimplexOptions lp_options_;
+  /// Lazily built, patched models (kStateful only).
+  std::vector<std::optional<ScenarioLp>> cached_;
+  int next_unchecked_ = 0;  ///< kStateful: scenarios before this survived
+  long total_lp_iterations_ = 0;
+};
+
+}  // namespace np::plan

@@ -1,0 +1,83 @@
+#include "plan/parallel_evaluator.hpp"
+
+#include <atomic>
+#include <stdexcept>
+#include <thread>
+
+namespace np::plan {
+
+ParallelPlanEvaluator::ParallelPlanEvaluator(const topo::Topology& topology,
+                                             int threads)
+    : topology_(topology), threads_(threads) {
+  if (threads < 1) {
+    throw std::invalid_argument("ParallelPlanEvaluator: threads must be >= 1");
+  }
+  topology_.validate();
+  threads_ = std::min(threads, num_scenarios());
+  cached_.resize(threads_);
+  groups_.resize(threads_);
+  for (int scenario = 0; scenario < num_scenarios(); ++scenario) {
+    groups_[scenario % threads_].push_back(scenario);
+  }
+  for (int t = 0; t < threads_; ++t) cached_[t].resize(groups_[t].size());
+}
+
+CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
+  if (total_units.size() != static_cast<std::size_t>(topology_.num_links())) {
+    throw std::invalid_argument("ParallelPlanEvaluator::check: size mismatch");
+  }
+  for (int units : total_units) {
+    if (units < 0) {
+      throw std::invalid_argument("ParallelPlanEvaluator::check: negative units");
+    }
+  }
+
+  std::vector<int> violated_per_thread(threads_, -1);
+  std::vector<double> unserved_per_thread(threads_, 0.0);
+  std::vector<long> iterations_per_thread(threads_, 0);
+
+  auto worker = [&](int t) {
+    lp::SimplexOptions options;
+    options.max_iterations = 1000000;
+    for (std::size_t k = 0; k < groups_[t].size(); ++k) {
+      const int scenario = groups_[t][k];
+      if (!cached_[t][k].has_value()) {
+        cached_[t][k] = build_scenario_lp(topology_, scenario, /*aggregate=*/true);
+      }
+      ScenarioLp& lp = *cached_[t][k];
+      set_plan_capacities(lp, topology_, total_units);
+      const ScenarioCheck check = solve_scenario(lp, options, /*warm=*/true);
+      iterations_per_thread[t] += check.lp_iterations;
+      if (!check.feasible &&
+          (violated_per_thread[t] < 0 || scenario < violated_per_thread[t])) {
+        violated_per_thread[t] = scenario;
+        unserved_per_thread[t] = check.unserved_gbps;
+      }
+    }
+  };
+
+  if (threads_ == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> pool;
+    pool.reserve(threads_);
+    for (int t = 0; t < threads_; ++t) pool.emplace_back(worker, t);
+    for (std::thread& th : pool) th.join();
+  }
+
+  CheckResult result;
+  result.scenarios_checked = num_scenarios();
+  for (int t = 0; t < threads_; ++t) {
+    result.lp_iterations += iterations_per_thread[t];
+    if (violated_per_thread[t] >= 0 &&
+        (result.violated_scenario < 0 ||
+         violated_per_thread[t] < result.violated_scenario)) {
+      result.violated_scenario = violated_per_thread[t];
+      result.unserved_gbps = unserved_per_thread[t];
+    }
+  }
+  result.feasible = result.violated_scenario < 0;
+  return result;
+}
+
+}  // namespace np::plan

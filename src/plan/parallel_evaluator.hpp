@@ -1,0 +1,45 @@
+// Parallel failure checking (§5): "we can group the failures and employ
+// multiple machines to check failure groups in parallel, which enables
+// training for problems with a large number of failures."
+//
+// This is the single-machine, multi-thread rendition: scenarios are
+// partitioned round-robin into per-thread groups; each thread owns its
+// scenario-LP caches (built once, patched per check, warm-started), so
+// no solver state is shared. Verdicts are deterministic — the reported
+// violated scenario is the smallest-indexed one — only wall-clock
+// changes with the thread count.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "plan/evaluator.hpp"
+#include "plan/scenario_lp.hpp"
+#include "topo/topology.hpp"
+
+namespace np::plan {
+
+class ParallelPlanEvaluator {
+ public:
+  /// threads == 1 degrades to sequential checking. Throws on threads < 1.
+  ParallelPlanEvaluator(const topo::Topology& topology, int threads);
+
+  /// Check the plan (per-link TOTAL units) against every scenario.
+  /// Unlike the sequential evaluator's early exit, all scenarios are
+  /// checked (the paper's grouped-parallel pattern); the result still
+  /// reports the first violated scenario by index.
+  CheckResult check(const std::vector<int>& total_units);
+
+  int num_scenarios() const { return topology_.num_failures() + 1; }
+  int threads() const { return threads_; }
+
+ private:
+  const topo::Topology& topology_;
+  int threads_;
+  /// cached_[t] holds thread t's scenario models (lazily built).
+  std::vector<std::vector<std::optional<ScenarioLp>>> cached_;
+  std::vector<std::vector<int>> groups_;  // thread -> scenario indices
+};
+
+}  // namespace np::plan

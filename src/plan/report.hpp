@@ -1,0 +1,40 @@
+// Human-readable plan reports — the interpretability story of §4.3:
+// "network operators can examine the solution from the RL agent and
+// check whether the changes match their intuition and experience."
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace np::plan {
+
+struct LinkReportRow {
+  int link = -1;
+  std::string name;
+  int initial_units = 0;
+  int added_units = 0;
+  double added_cost = 0.0;
+  /// Highest fraction of the link's capacity used across scenarios
+  /// (healthy + failures), from the feasibility LP's flow solution;
+  /// -1 when the link carries no capacity.
+  double worst_utilization = -1.0;
+};
+
+struct PlanReport {
+  bool feasible = false;
+  double total_cost = 0.0;
+  int links_changed = 0;
+  std::vector<LinkReportRow> rows;   ///< links with additions, by cost desc
+  std::vector<std::string> scenario_notes;  ///< per-scenario status lines
+};
+
+/// Analyze a plan (per-link ADDED units) against the topology.
+PlanReport analyze_plan(const topo::Topology& topology,
+                        const std::vector<int>& added_units);
+
+/// Render as an aligned text table suitable for operator review.
+std::string to_text(const topo::Topology& topology, const PlanReport& report);
+
+}  // namespace np::plan

@@ -1,0 +1,100 @@
+#include "rl/env.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace np::rl {
+
+PlanningEnv::PlanningEnv(const topo::Topology& topology, const EnvConfig& config)
+    : topology_(topology),
+      config_(config),
+      transform_(topo::node_link_transform(topology)),
+      evaluator_(topology, config.evaluator_mode),
+      initial_units_(topology.initial_units()) {
+  if (config.max_units_per_step < 1) {
+    throw std::invalid_argument("PlanningEnv: max_units_per_step must be >= 1");
+  }
+  if (config.max_trajectory_steps < 1) {
+    throw std::invalid_argument("PlanningEnv: max_trajectory_steps must be >= 1");
+  }
+  // Reward scale: the most expensive possible single step, so each
+  // intermediate reward lands in [-1, 0] (§4.2 "reward representation").
+  double max_unit_cost = 0.0;
+  for (int l = 0; l < topology.num_links(); ++l) {
+    max_unit_cost = std::max(max_unit_cost, topology.link_unit_cost(l));
+  }
+  reward_scale_ = std::max(1e-9, max_unit_cost * config.max_units_per_step);
+  reset();
+}
+
+void PlanningEnv::reset() {
+  units_ = initial_units_;
+  steps_ = 0;
+  done_ = false;
+  evaluator_.reset();
+}
+
+la::Matrix PlanningEnv::features() const {
+  return topo::node_features(topology_, units_, config_.include_static_features);
+}
+
+std::vector<std::uint8_t> PlanningEnv::action_mask() const {
+  std::vector<std::uint8_t> mask(num_actions(), 0);
+  for (int l = 0; l < topology_.num_links(); ++l) {
+    const int headroom = topology_.spectrum_headroom_units(l, units_);
+    const int allowed = std::min(headroom, config_.max_units_per_step);
+    for (int k = 1; k <= allowed; ++k) {
+      mask[l * config_.max_units_per_step + (k - 1)] = 1;
+    }
+  }
+  return mask;
+}
+
+bool PlanningEnv::has_valid_action() const {
+  for (int l = 0; l < topology_.num_links(); ++l) {
+    if (topology_.spectrum_headroom_units(l, units_) > 0) return true;
+  }
+  return false;
+}
+
+StepResult PlanningEnv::step(int flat_action) {
+  if (done_) throw std::logic_error("PlanningEnv::step: episode is done");
+  if (flat_action < 0 || flat_action >= num_actions()) {
+    throw std::invalid_argument("PlanningEnv::step: action out of range");
+  }
+  const int link = flat_action / config_.max_units_per_step;
+  const int add = flat_action % config_.max_units_per_step + 1;
+  if (topology_.spectrum_headroom_units(link, units_) < add) {
+    throw std::invalid_argument("PlanningEnv::step: masked action (spectrum)");
+  }
+
+  units_[link] += add;
+  ++steps_;
+
+  StepResult result;
+  result.reward = -(add * topology_.link_unit_cost(link)) / reward_scale_;
+
+  const plan::CheckResult check = evaluator_.check(units_);
+  if (check.feasible) {
+    result.done = true;
+    result.feasible = true;
+  } else if (steps_ >= config_.max_trajectory_steps || !has_valid_action()) {
+    result.done = true;
+    result.truncated = true;
+    result.reward += -1.0;  // timeout penalty (§4.2)
+  }
+  done_ = result.done;
+  return result;
+}
+
+std::vector<int> PlanningEnv::added_units() const {
+  std::vector<int> added(units_.size());
+  for (std::size_t l = 0; l < units_.size(); ++l) {
+    added[l] = units_[l] - initial_units_[l];
+  }
+  return added;
+}
+
+double PlanningEnv::added_cost() const { return topology_.plan_cost(added_units()); }
+
+}  // namespace np::rl

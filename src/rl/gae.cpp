@@ -1,0 +1,52 @@
+#include "rl/gae.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace np::rl {
+
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values,
+                      const std::vector<bool>& terminal, double last_value,
+                      const GaeConfig& config) {
+  const std::size_t n = rewards.size();
+  if (values.size() != n || terminal.size() != n) {
+    throw std::invalid_argument("compute_gae: size mismatch");
+  }
+  GaeResult result;
+  result.advantages.assign(n, 0.0);
+  result.rewards_to_go.assign(n, 0.0);
+  double next_advantage = 0.0;
+  double next_value = last_value;
+  double next_return = last_value;
+  for (std::size_t i = n; i-- > 0;) {
+    if (terminal[i]) {
+      next_advantage = 0.0;
+      next_value = 0.0;
+      next_return = 0.0;
+    }
+    // Eq. 6: GAE_i = r_i + gamma*v_{i+1} - v_i + gamma*lambda*GAE_{i+1}.
+    const double delta = rewards[i] + config.gamma * next_value - values[i];
+    next_advantage = delta + config.gamma * config.gae_lambda * next_advantage;
+    result.advantages[i] = next_advantage;
+    next_return = rewards[i] + config.gamma * next_return;
+    result.rewards_to_go[i] = next_return;
+    next_value = values[i];
+  }
+  return result;
+}
+
+void normalize_advantages(std::vector<double>& advantages) {
+  if (advantages.size() < 2) return;
+  double mean = 0.0;
+  for (double a : advantages) mean += a;
+  mean /= static_cast<double>(advantages.size());
+  double var = 0.0;
+  for (double a : advantages) var += (a - mean) * (a - mean);
+  var /= static_cast<double>(advantages.size());
+  const double std_dev = std::sqrt(var);
+  if (std_dev < 1e-9) return;
+  for (double& a : advantages) a = (a - mean) / std_dev;
+}
+
+}  // namespace np::rl

@@ -1,0 +1,34 @@
+// Generalized Advantage Estimation (Eq. 6 of the paper, following
+// Schulman et al.) and discounted rewards-to-go over an epoch buffer
+// that may contain several (possibly cut-off) trajectories.
+#pragma once
+
+#include <vector>
+
+namespace np::rl {
+
+struct GaeConfig {
+  double gamma = 0.99;       ///< discount factor (Table 2)
+  double gae_lambda = 0.97;  ///< smoothing parameter (Table 2)
+};
+
+struct GaeResult {
+  std::vector<double> advantages;
+  std::vector<double> rewards_to_go;
+};
+
+/// rewards[i], values[i]: per step. terminal[i] is true when step i ends
+/// a trajectory whose final state has zero value (feasible plan reached
+/// or timeout penalty applied). A trailing non-terminal step (epoch cut
+/// a trajectory) is bootstrapped with `last_value`, the critic estimate
+/// of the state after the final step.
+GaeResult compute_gae(const std::vector<double>& rewards,
+                      const std::vector<double>& values,
+                      const std::vector<bool>& terminal, double last_value,
+                      const GaeConfig& config);
+
+/// Normalize advantages to mean 0 / std 1 in place (no-op for size < 2
+/// or ~zero variance). Standard A2C variance-reduction practice.
+void normalize_advantages(std::vector<double>& advantages);
+
+}  // namespace np::rl

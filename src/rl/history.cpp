@@ -1,0 +1,25 @@
+#include "rl/history.hpp"
+
+#include <fstream>
+#include <stdexcept>
+
+namespace np::rl {
+
+void write_history_csv(const std::vector<EpochStats>& history, std::ostream& out) {
+  out << "epoch,steps,trajectories,feasible,mean_return,best_cost\n";
+  for (const EpochStats& s : history) {
+    out << s.epoch << ',' << s.steps << ',' << s.trajectories << ','
+        << s.feasible_trajectories << ',' << s.mean_return << ',';
+    if (s.best_cost_so_far < 1e299) out << s.best_cost_so_far;
+    out << '\n';
+  }
+}
+
+void write_history_csv_file(const std::vector<EpochStats>& history,
+                            const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  write_history_csv(history, out);
+}
+
+}  // namespace np::rl

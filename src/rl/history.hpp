@@ -1,0 +1,20 @@
+// Training-history export: CSV of per-epoch statistics, for plotting
+// the convergence curves of Figures 11(b)/12(b) with external tools.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "rl/trainer.hpp"
+
+namespace np::rl {
+
+/// Header: epoch,steps,trajectories,feasible,mean_return,best_cost.
+/// best_cost is empty until a feasible plan exists.
+void write_history_csv(const std::vector<EpochStats>& history, std::ostream& out);
+
+void write_history_csv_file(const std::vector<EpochStats>& history,
+                            const std::string& path);
+
+}  // namespace np::rl

@@ -1,0 +1,298 @@
+#include "rl/trainer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+
+namespace np::rl {
+
+namespace {
+
+nn::NetworkConfig reconcile(const TrainConfig& config) {
+  nn::NetworkConfig net = config.network;
+  net.feature_dim = topo::feature_dimension(config.env.include_static_features);
+  net.max_units_per_step = config.env.max_units_per_step;
+  return net;
+}
+
+}  // namespace
+
+A2cTrainer::A2cTrainer(const topo::Topology& topology, const TrainConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      env_(topology, config.env),
+      network_(reconcile(config), rng_),
+      actor_optimizer_(ad::AdamConfig{.learning_rate = config.actor_learning_rate}),
+      critic_optimizer_(ad::AdamConfig{.learning_rate = config.critic_learning_rate}) {
+  if (config.steps_per_epoch < 1 || config.epochs < 1 || config.chunk_steps < 1) {
+    throw std::invalid_argument("A2cTrainer: epochs/steps/chunk must be positive");
+  }
+  // Algorithm 1 line 19/22: the actor update touches theta and theta_g,
+  // the critic update theta_v and theta_g.
+  actor_optimizer_.add_parameters(network_.actor_parameters());
+  actor_optimizer_.add_parameters(network_.gnn_parameters());
+  critic_optimizer_.add_parameters(network_.critic_parameters());
+  critic_optimizer_.add_parameters(network_.gnn_parameters());
+}
+
+int A2cTrainer::sample_action(const la::Matrix& log_probs,
+                              const std::vector<std::uint8_t>& mask) {
+  // Categorical sample over valid entries; probabilities sum to 1.
+  double r = rng_.uniform();
+  int last_valid = -1;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) continue;
+    last_valid = static_cast<int>(i);
+    r -= std::exp(log_probs(0, i));
+    if (r < 0.0) return static_cast<int>(i);
+  }
+  if (last_valid < 0) throw std::logic_error("sample_action: dead mask");
+  return last_valid;  // numeric slack
+}
+
+double A2cTrainer::critic_value_now() {
+  ad::Tape tape;
+  ad::Tensor v = network_.value(tape, env_.adjacency(), env_.features());
+  return tape.value(v)(0, 0);
+}
+
+EpochStats A2cTrainer::run_epoch() {
+  Stopwatch watch;
+  EpochStats stats;
+  stats.epoch = ++epoch_counter_;
+  stats.best_cost_in_epoch = kUnset;
+
+  std::vector<StepRecord> buffer;
+  buffer.reserve(config_.steps_per_epoch);
+  double trajectory_return = 0.0;
+  double return_sum = 0.0;
+
+  env_.reset();
+  while (static_cast<int>(buffer.size()) < config_.steps_per_epoch) {
+    StepRecord record;
+    record.features = env_.features();
+    record.mask = env_.action_mask();
+
+    {
+      ad::Tape tape;
+      ad::Tensor log_probs = network_.policy_log_probs(tape, env_.adjacency(),
+                                                       record.features, record.mask);
+      ad::Tensor value = network_.value(tape, env_.adjacency(), record.features);
+      record.action = sample_action(tape.value(log_probs), record.mask);
+      record.log_prob = tape.value(log_probs)(0, record.action);
+      record.value = tape.value(value)(0, 0);
+    }
+
+    const StepResult step = env_.step(record.action);
+    record.reward = step.reward;
+    record.terminal = step.done;
+    trajectory_return += step.reward;
+    buffer.push_back(std::move(record));
+
+    if (step.done) {
+      ++stats.trajectories;
+      return_sum += trajectory_return;
+      trajectory_return = 0.0;
+      if (step.feasible) {
+        ++stats.feasible_trajectories;
+        const double cost = env_.added_cost();
+        stats.best_cost_in_epoch = std::min(stats.best_cost_in_epoch, cost);
+        if (cost < best_cost_) {
+          best_cost_ = cost;
+          best_added_ = env_.added_units();
+          log_info("rl: new best feasible plan, cost ", cost, " (epoch ",
+                   stats.epoch, ")");
+        }
+      }
+      env_.reset();
+    }
+  }
+  stats.steps = static_cast<int>(buffer.size());
+
+  // GAE over the epoch buffer; a cut-off trajectory bootstraps with the
+  // critic's estimate of the state after the last step.
+  std::vector<double> rewards(buffer.size()), values(buffer.size());
+  std::vector<bool> terminal(buffer.size());
+  for (std::size_t i = 0; i < buffer.size(); ++i) {
+    rewards[i] = buffer[i].reward;
+    values[i] = buffer[i].value;
+    terminal[i] = buffer[i].terminal;
+  }
+  const double last_value = buffer.back().terminal ? 0.0 : critic_value_now();
+  GaeResult gae = compute_gae(rewards, values, terminal, last_value, config_.gae);
+  normalize_advantages(gae.advantages);
+
+  for (int it = 0; it < std::max(1, config_.update_iterations); ++it) {
+    update_policy(buffer, gae.advantages);
+    update_critic(buffer, gae.rewards_to_go);
+  }
+
+  if (stats.trajectories > 0) stats.mean_return = return_sum / stats.trajectories;
+  stats.best_cost_so_far = best_cost_;
+  stats.seconds = watch.seconds();
+  return stats;
+}
+
+void A2cTrainer::update_policy(const std::vector<StepRecord>& buffer,
+                               const std::vector<double>& advantages) {
+  actor_optimizer_.zero_grad();
+  const double inv_n = 1.0 / static_cast<double>(buffer.size());
+  for (std::size_t begin = 0; begin < buffer.size(); begin += config_.chunk_steps) {
+    const std::size_t end =
+        std::min(buffer.size(), begin + static_cast<std::size_t>(config_.chunk_steps));
+    ad::Tape tape;
+    ad::Tensor loss = tape.constant(la::Matrix(1, 1, 0.0));
+    for (std::size_t i = begin; i < end; ++i) {
+      ad::Tensor log_probs = network_.policy_log_probs(
+          tape, env_.adjacency(), buffer[i].features, buffer[i].mask);
+      ad::Tensor logp =
+          tape.pick(log_probs, 0, static_cast<std::size_t>(buffer[i].action));
+      if (config_.ppo_clip > 0.0) {
+        // Clipped surrogate: -min(ratio*A, clip(ratio)*A). When the
+        // clipped branch is active the objective is locally constant in
+        // the parameters, so the step contributes no gradient.
+        ad::Tensor ratio = tape.exp(tape.sub(
+            logp, tape.constant(la::Matrix(1, 1, buffer[i].log_prob))));
+        const double r = tape.value(ratio)(0, 0);
+        const double clipped =
+            std::clamp(r, 1.0 - config_.ppo_clip, 1.0 + config_.ppo_clip);
+        const double adv = advantages[i];
+        if (r * adv <= clipped * adv + 1e-15) {
+          loss = tape.add(loss, tape.scale(ratio, -adv * inv_n));
+        }
+      } else {
+        // Algorithm 1's plain policy-gradient loss: -(advantage * logp).
+        loss = tape.add(loss, tape.scale(logp, -advantages[i] * inv_n));
+      }
+      if (config_.entropy_coefficient > 0.0) {
+        ad::Tensor entropy = tape.entropy_from_log_probs(log_probs);
+        loss = tape.add(loss,
+                        tape.scale(entropy, -config_.entropy_coefficient * inv_n));
+      }
+    }
+    tape.backward(loss);  // accumulates into actor + gnn parameter grads
+  }
+  actor_optimizer_.step();
+}
+
+void A2cTrainer::update_critic(const std::vector<StepRecord>& buffer,
+                               const std::vector<double>& rewards_to_go) {
+  critic_optimizer_.zero_grad();
+  const double inv_n = 1.0 / static_cast<double>(buffer.size());
+  for (std::size_t begin = 0; begin < buffer.size(); begin += config_.chunk_steps) {
+    const std::size_t end =
+        std::min(buffer.size(), begin + static_cast<std::size_t>(config_.chunk_steps));
+    ad::Tape tape;
+    ad::Tensor loss = tape.constant(la::Matrix(1, 1, 0.0));
+    for (std::size_t i = begin; i < end; ++i) {
+      ad::Tensor value = network_.value(tape, env_.adjacency(), buffer[i].features);
+      ad::Tensor diff =
+          tape.sub(value, tape.constant(la::Matrix(1, 1, rewards_to_go[i])));
+      loss = tape.add(loss, tape.scale(tape.square(diff), inv_n));
+    }
+    tape.backward(loss);
+  }
+  critic_optimizer_.step();
+}
+
+A2cTrainer::PolicyEvaluation A2cTrainer::evaluate_policy(int rollouts) {
+  if (rollouts < 1) throw std::invalid_argument("evaluate_policy: rollouts < 1");
+  PolicyEvaluation eval;
+  eval.rollouts = rollouts;
+  double cost_sum = 0.0;
+  double best = kUnset;
+  for (int r = 0; r < rollouts; ++r) {
+    env_.reset();
+    while (!env_.done()) {
+      const la::Matrix features = env_.features();
+      const std::vector<std::uint8_t> mask = env_.action_mask();
+      int action = -1;
+      {
+        ad::Tape tape;
+        ad::Tensor log_probs =
+            network_.policy_log_probs(tape, env_.adjacency(), features, mask);
+        action = sample_action(tape.value(log_probs), mask);
+      }
+      const StepResult step = env_.step(action);
+      if (step.feasible) {
+        ++eval.feasible;
+        const double cost = env_.added_cost();
+        cost_sum += cost;
+        best = std::min(best, cost);
+        if (cost < best_cost_) {
+          best_cost_ = cost;
+          best_added_ = env_.added_units();
+        }
+      }
+    }
+  }
+  env_.reset();
+  if (eval.feasible > 0) {
+    eval.best_cost = best;
+    eval.mean_cost = cost_sum / eval.feasible;
+  }
+  return eval;
+}
+
+bool A2cTrainer::greedy_rollout() {
+  env_.reset();
+  bool feasible = false;
+  while (!env_.done()) {
+    const la::Matrix features = env_.features();
+    const std::vector<std::uint8_t> mask = env_.action_mask();
+    int action = -1;
+    {
+      ad::Tape tape;
+      ad::Tensor log_probs =
+          network_.policy_log_probs(tape, env_.adjacency(), features, mask);
+      const la::Matrix& lp = tape.value(log_probs);
+      double best = -1e301;
+      for (std::size_t i = 0; i < mask.size(); ++i) {
+        if (mask[i] && lp(0, i) > best) {
+          best = lp(0, i);
+          action = static_cast<int>(i);
+        }
+      }
+    }
+    if (action < 0) break;  // dead mask
+    const StepResult step = env_.step(action);
+    if (step.feasible) {
+      feasible = true;
+      const double cost = env_.added_cost();
+      if (cost < best_cost_) {
+        best_cost_ = cost;
+        best_added_ = env_.added_units();
+        log_info("rl: greedy rollout improved best plan to ", cost);
+      }
+    }
+  }
+  env_.reset();
+  return feasible;
+}
+
+std::vector<EpochStats> A2cTrainer::train() {
+  std::vector<EpochStats> history;
+  double best_seen = kUnset;
+  int stale_epochs = 0;
+  for (int e = 0; e < config_.epochs; ++e) {
+    history.push_back(run_epoch());
+    const EpochStats& stats = history.back();
+    log_info("rl: epoch ", stats.epoch, " return ", stats.mean_return, " best ",
+             stats.best_cost_so_far == kUnset ? -1.0 : stats.best_cost_so_far);
+    if (config_.patience > 0) {
+      if (best_cost_ < best_seen - 1e-9) {
+        best_seen = best_cost_;
+        stale_epochs = 0;
+      } else if (has_feasible_plan() && ++stale_epochs >= config_.patience) {
+        log_info("rl: early stop after ", stale_epochs, " stale epochs");
+        break;
+      }
+    }
+  }
+  return history;
+}
+
+}  // namespace np::rl

@@ -1,0 +1,135 @@
+// A2C trainer implementing Algorithm 1 of the paper.
+//
+// Per epoch: roll out trajectories with the current stochastic policy
+// until the epoch step budget is filled (trajectories reset on
+// feasibility or the step cap, and the last one may be cut off by the
+// epoch boundary, exactly as lines 8-15 describe). Then compute
+// GAE-lambda advantages (Eq. 6) and rewards-to-go, and apply two
+// updates that both flow into the shared GNN: the policy-gradient loss
+// to the actor parameters theta and theta_g, and the value MSE loss to
+// the critic parameters theta_v and theta_g (lines 16-22).
+//
+// Implementation note: the rollout stores compact per-step records
+// (features, mask, action, reward, value); the update phase recomputes
+// forward passes in bounded-size chunks so tape memory stays O(chunk)
+// instead of O(epoch) — gradients of a sum accumulate across chunk
+// backward passes before each Adam step.
+#pragma once
+
+#include <vector>
+
+#include "ad/adam.hpp"
+#include "nn/actor_critic.hpp"
+#include "rl/env.hpp"
+#include "rl/gae.hpp"
+#include "util/rng.hpp"
+
+namespace np::rl {
+
+struct TrainConfig {
+  nn::NetworkConfig network;
+  EnvConfig env;
+  int epochs = 64;               ///< Table 2: up to 1024; scaled to CPU budget
+  int steps_per_epoch = 512;     ///< Table 2 "max length per epoch"
+  double actor_learning_rate = 3e-4;   ///< Table 2
+  double critic_learning_rate = 1e-3;  ///< Table 2
+  GaeConfig gae;                 ///< gamma 0.99, lambda 0.97 (Table 2)
+  double entropy_coefficient = 0.01;  ///< exploration bonus (0 = pure Alg. 1)
+  /// Gradient passes over the epoch buffer per epoch. Algorithm 1 uses
+  /// 1; values > 1 trade strict on-policyness for sample efficiency —
+  /// the CPU-budget substitute for the paper's 1024 GPU epochs.
+  int update_iterations = 1;
+  /// PPO-style clipped surrogate (epsilon). 0 keeps the plain
+  /// policy-gradient loss of Algorithm 1; > 0 makes update_iterations
+  /// > 1 stable (the paper implements its agent on the SpinningUp
+  /// framework, which ships exactly this objective).
+  double ppo_clip = 0.0;
+  int chunk_steps = 64;          ///< tape-memory bound for the update phase
+  unsigned seed = 1;
+  /// Stop early after this many epochs without improving the best
+  /// feasible cost (0 disables).
+  int patience = 0;
+};
+
+struct EpochStats {
+  int epoch = 0;
+  int steps = 0;
+  int trajectories = 0;
+  int feasible_trajectories = 0;
+  double mean_return = 0.0;       ///< mean per-trajectory reward sum
+  double best_cost_in_epoch = 0.0;   ///< cheapest feasible plan this epoch (inf if none)
+  double best_cost_so_far = 0.0;     ///< cheapest feasible plan since start (inf if none)
+  double seconds = 0.0;
+};
+
+class A2cTrainer {
+ public:
+  A2cTrainer(const topo::Topology& topology, const TrainConfig& config);
+
+  /// One epoch of Algorithm 1; returns its statistics.
+  EpochStats run_epoch();
+
+  /// Full training loop (config.epochs, honoring patience).
+  std::vector<EpochStats> train();
+
+  /// Evaluate the current stochastic policy without learning: run
+  /// `rollouts` sampled trajectories and report how many reached
+  /// feasibility and the cost statistics of those that did. Also feeds
+  /// the best-plan tracker. Useful for monitoring and for comparing
+  /// checkpoints.
+  struct PolicyEvaluation {
+    int rollouts = 0;
+    int feasible = 0;
+    double best_cost = 0.0;   ///< cheapest feasible cost seen (0 if none)
+    double mean_cost = 0.0;   ///< mean over feasible rollouts (0 if none)
+  };
+  PolicyEvaluation evaluate_policy(int rollouts);
+
+  /// Deterministic rollout with the current policy (argmax actions).
+  /// Updates the best plan when it finds a cheaper feasible one, and
+  /// returns true when the rollout reached feasibility. This is how the
+  /// trained agent "outputs an initial plan" for the first stage.
+  bool greedy_rollout();
+
+  bool has_feasible_plan() const { return best_cost_ < kUnset; }
+  /// Added units of the cheapest feasible plan found (First-stage plan).
+  const std::vector<int>& best_added_units() const { return best_added_; }
+  double best_cost() const { return best_cost_; }
+
+  nn::ActorCritic& network() { return network_; }
+  PlanningEnv& env() { return env_; }
+  const TrainConfig& config() const { return config_; }
+
+ private:
+  struct StepRecord {
+    la::Matrix features;
+    std::vector<std::uint8_t> mask;
+    int action = 0;
+    double log_prob = 0.0;  ///< behavior policy's logp of the action
+    double reward = 0.0;
+    double value = 0.0;
+    bool terminal = false;
+  };
+
+  int sample_action(const la::Matrix& log_probs,
+                    const std::vector<std::uint8_t>& mask);
+  double critic_value_now();
+  void update_policy(const std::vector<StepRecord>& buffer,
+                     const std::vector<double>& advantages);
+  void update_critic(const std::vector<StepRecord>& buffer,
+                     const std::vector<double>& rewards_to_go);
+
+  static constexpr double kUnset = 1e300;
+
+  TrainConfig config_;
+  Rng rng_;
+  PlanningEnv env_;
+  nn::ActorCritic network_;
+  ad::Adam actor_optimizer_;
+  ad::Adam critic_optimizer_;
+  double best_cost_ = kUnset;
+  std::vector<int> best_added_;
+  int epoch_counter_ = 0;
+};
+
+}  // namespace np::rl

@@ -1,0 +1,371 @@
+#include "topo/generator.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <queue>
+#include <set>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "topo/paths.hpp"
+#include "util/rng.hpp"
+
+namespace np::topo {
+
+namespace {
+
+constexpr double kPi = 3.14159265358979323846;
+
+double distance(const Site& a, const Site& b) {
+  const double dx = a.x - b.x, dy = a.y - b.y;
+  return std::sqrt(dx * dx + dy * dy);
+}
+
+/// True when src and dst are connected over surviving links.
+bool connected_under_failure(const Topology& topo, int src, int dst,
+                             const Failure& failure) {
+  std::vector<bool> usable(topo.num_links());
+  for (int l = 0; l < topo.num_links(); ++l) usable[l] = !topo.link_failed(l, failure);
+  return !shortest_ip_path(topo, src, dst, usable).empty();
+}
+
+/// Reference plan used to derive realistic existing capacities: route
+/// every flow on its shortest healthy path and size links accordingly.
+std::vector<int> reference_units(const Topology& topo) {
+  std::vector<int> units(topo.num_links(), 0);
+  std::vector<bool> all(topo.num_links(), true);
+  for (int fl = 0; fl < topo.num_flows(); ++fl) {
+    const Flow& flow = topo.flow(fl);
+    const auto path = shortest_ip_path(topo, flow.src, flow.dst, all);
+    const int needed = static_cast<int>(
+        std::ceil(flow.demand_gbps / topo.capacity_unit_gbps()));
+    for (int l : path) units[l] += needed;
+  }
+  return units;
+}
+
+}  // namespace
+
+Topology generate(const GeneratorParams& params) {
+  if (params.regions < 1 || params.sites_per_region < 3) {
+    throw std::invalid_argument("generate: need >= 1 region and >= 3 sites each");
+  }
+  if (params.num_flows < 1 || params.total_demand_tbps <= 0.0) {
+    throw std::invalid_argument("generate: need positive traffic");
+  }
+  Rng rng(params.seed);
+  Topology topo;
+  topo.set_name(params.name);
+  topo.set_capacity_unit_gbps(params.capacity_unit_gbps);
+  topo.set_cost_model({params.ip_cost_per_gbps_km, 1.0});
+
+  // ---- sites: regions on a backbone circle, sites on regional circles ----
+  for (int r = 0; r < params.regions; ++r) {
+    const double angle = 2.0 * kPi * r / params.regions;
+    const double cx = params.backbone_radius_km * std::cos(angle);
+    const double cy = params.backbone_radius_km * std::sin(angle);
+    for (int s = 0; s < params.sites_per_region; ++s) {
+      const double sa = 2.0 * kPi * s / params.sites_per_region;
+      Site site;
+      site.name = "r" + std::to_string(r) + "s" + std::to_string(s);
+      site.x = cx + params.region_radius_km * std::cos(sa);
+      site.y = cy + params.region_radius_km * std::sin(sa);
+      site.region = r;
+      topo.add_site(std::move(site));
+    }
+  }
+  auto site_id = [&](int region, int s) {
+    return region * params.sites_per_region +
+           ((s % params.sites_per_region) + params.sites_per_region) %
+               params.sites_per_region;
+  };
+
+  // ---- fibers ----
+  auto add_fiber_between = [&](int a, int b, const std::string& tag) {
+    Fiber fiber;
+    fiber.site_a = a;
+    fiber.site_b = b;
+    fiber.length_km = std::max(10.0, distance(topo.site(a), topo.site(b)));
+    fiber.spectrum_ghz = params.spectrum_ghz;
+    fiber.build_cost = params.fiber_cost_per_km * fiber.length_km;
+    fiber.name = tag;
+    return topo.add_fiber(std::move(fiber));
+  };
+
+  std::vector<int> single_fiber_links;  // fibers that carry a 1-hop IP link
+  for (int r = 0; r < params.regions; ++r) {
+    // Regional ring (2-connected by construction).
+    for (int s = 0; s < params.sites_per_region; ++s) {
+      single_fiber_links.push_back(add_fiber_between(
+          site_id(r, s), site_id(r, s + 1),
+          "ring-r" + std::to_string(r) + "-" + std::to_string(s)));
+    }
+    // Chords.
+    for (int c = 0; c < params.chords_per_region && params.sites_per_region > 3; ++c) {
+      const int s = static_cast<int>(rng.uniform_index(params.sites_per_region));
+      const int hop = 2 + static_cast<int>(
+                              rng.uniform_index(std::max(1, params.sites_per_region - 3)));
+      const int a = site_id(r, s), b = site_id(r, s + hop);
+      if (a == b) continue;
+      single_fiber_links.push_back(
+          add_fiber_between(a, b, "chord-r" + std::to_string(r) + "-" + std::to_string(c)));
+    }
+  }
+  // Inter-region long-hauls between circle-adjacent regions, using
+  // distinct site pairs for redundancy. Two regions share one pair of
+  // long-hauls; three or more close the backbone into a ring.
+  const int region_pairs =
+      params.regions <= 1 ? 0 : (params.regions == 2 ? 1 : params.regions);
+  for (int r = 0; r < region_pairs; ++r) {
+    const int r2 = (r + 1) % params.regions;
+    for (int k = 0; k < params.interregion_fibers; ++k) {
+      single_fiber_links.push_back(add_fiber_between(
+          site_id(r, k), site_id(r2, k),
+          "longhaul-" + std::to_string(r) + "-" + std::to_string(r2) + "-" +
+              std::to_string(k)));
+    }
+  }
+
+  // ---- IP links: one per fiber, plus parallel siblings and expresses ----
+  auto add_link_on_path = [&](std::vector<int> path, const std::string& tag) {
+    const Fiber& first = topo.fiber(path.front());
+    const Fiber& last = topo.fiber(path.back());
+    IpLink link;
+    if (path.size() == 1) {
+      link.site_a = first.site_a;
+      link.site_b = first.site_b;
+    } else {
+      // Endpoint of the walk: the non-shared end of first and last.
+      const Fiber& second = topo.fiber(path[1]);
+      link.site_a = (first.site_a == second.site_a || first.site_a == second.site_b)
+                        ? first.site_b
+                        : first.site_a;
+      const Fiber& second_last = topo.fiber(path[path.size() - 2]);
+      link.site_b =
+          (last.site_a == second_last.site_a || last.site_a == second_last.site_b)
+              ? last.site_b
+              : last.site_a;
+    }
+    link.fiber_path = std::move(path);
+    link.spectrum_per_unit_ghz = params.spectrum_per_unit_ghz;
+    if (params.distance_adaptive_modulation) {
+      double length = 0.0;
+      for (int f : link.fiber_path) length += topo.fiber(f).length_km;
+      if (length < params.short_reach_km) {
+        link.spectrum_per_unit_ghz *= 2.0 / 3.0;  // high-order modulation
+      } else if (length > params.long_reach_km) {
+        link.spectrum_per_unit_ghz *= 4.0 / 3.0;  // regeneration-free low order
+      }
+    }
+    link.name = tag;
+    return topo.add_ip_link(std::move(link));
+  };
+
+  for (std::size_t i = 0; i < single_fiber_links.size(); ++i) {
+    add_link_on_path({single_fiber_links[i]}, "ip-" + std::to_string(i));
+  }
+  // Parallel links over physically distinct second fibers.
+  const int parallels = static_cast<int>(
+      std::round(params.parallel_link_fraction * single_fiber_links.size()));
+  std::vector<std::pair<int, int>> conduit_pairs;  // (base fiber, twin fiber)
+  for (int p = 0; p < parallels; ++p) {
+    const int base = single_fiber_links[rng.uniform_index(single_fiber_links.size())];
+    const Fiber& fb = topo.fiber(base);
+    const int twin = add_fiber_between(fb.site_a, fb.site_b, fb.name + "-twin");
+    add_link_on_path({twin}, "ip-par-" + std::to_string(p));
+    conduit_pairs.push_back({base, twin});
+  }
+  // Express IP links over two-fiber walks.
+  for (int e = 0; e < params.express_links; ++e) {
+    for (int attempt = 0; attempt < 50; ++attempt) {
+      const int f1 =
+          single_fiber_links[rng.uniform_index(single_fiber_links.size())];
+      const int f2 =
+          single_fiber_links[rng.uniform_index(single_fiber_links.size())];
+      if (f1 == f2) continue;
+      const Fiber& a = topo.fiber(f1);
+      const Fiber& b = topo.fiber(f2);
+      int shared = -1;
+      for (int sa : {a.site_a, a.site_b}) {
+        for (int sb : {b.site_a, b.site_b}) {
+          if (sa == sb) shared = sa;
+        }
+      }
+      if (shared < 0) continue;
+      const int end_a = a.site_a == shared ? a.site_b : a.site_a;
+      const int end_b = b.site_a == shared ? b.site_b : b.site_a;
+      if (end_a == end_b) continue;
+      add_link_on_path({f1, f2}, "ip-express-" + std::to_string(e));
+      break;
+    }
+  }
+
+  // ---- flows: gravity model, hub-heavy when max_flow_sources is set ----
+  std::vector<double> weight(topo.num_sites());
+  for (double& w : weight) w = rng.uniform(0.5, 2.0);
+  std::vector<bool> may_source(topo.num_sites(), true);
+  if (params.max_flow_sources > 0 && params.max_flow_sources < topo.num_sites()) {
+    std::vector<int> by_weight(topo.num_sites());
+    for (int i = 0; i < topo.num_sites(); ++i) by_weight[i] = i;
+    std::sort(by_weight.begin(), by_weight.end(),
+              [&](int a, int b) { return weight[a] > weight[b]; });
+    may_source.assign(topo.num_sites(), false);
+    for (int k = 0; k < params.max_flow_sources; ++k) may_source[by_weight[k]] = true;
+  }
+  std::vector<std::pair<double, std::pair<int, int>>> gravity;
+  for (int i = 0; i < topo.num_sites(); ++i) {
+    if (!may_source[i]) continue;
+    for (int j = 0; j < topo.num_sites(); ++j) {
+      if (i == j) continue;
+      const double dist = std::max(100.0, distance(topo.site(i), topo.site(j)));
+      gravity.push_back({weight[i] * weight[j] / std::sqrt(dist), {i, j}});
+    }
+  }
+  std::sort(gravity.begin(), gravity.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+  const int flow_count = std::min<int>(params.num_flows, static_cast<int>(gravity.size()));
+  double mass = 0.0;
+  for (int k = 0; k < flow_count; ++k) mass += gravity[k].first;
+  for (int k = 0; k < flow_count; ++k) {
+    Flow flow;
+    flow.src = gravity[k].second.first;
+    flow.dst = gravity[k].second.second;
+    flow.demand_gbps = params.total_demand_tbps * 1000.0 * gravity[k].first / mass;
+    flow.cos = rng.uniform() < params.silver_fraction ? CoS::kSilver : CoS::kGold;
+    topo.add_flow(flow);
+  }
+
+  // ---- failures: sampled single-fiber cuts + site failures ----
+  std::vector<int> fiber_ids(topo.num_fibers());
+  for (int f = 0; f < topo.num_fibers(); ++f) fiber_ids[f] = f;
+  rng.shuffle(fiber_ids);
+  auto failure_is_safe = [&](const Failure& failure) {
+    for (int fl = 0; fl < topo.num_flows(); ++fl) {
+      const Flow& flow = topo.flow(fl);
+      if (!topo.flow_required(flow, failure)) continue;
+      if (!connected_under_failure(topo, flow.src, flow.dst, failure)) return false;
+    }
+    return true;
+  };
+  int added = 0;
+  for (int f : fiber_ids) {
+    if (added >= params.single_fiber_failures) break;
+    Failure failure;
+    failure.fibers = {f};
+    failure.name = "cut-" + topo.fiber(f).name;
+    if (failure_is_safe(failure)) {
+      topo.add_failure(std::move(failure));
+      ++added;
+    } else {
+      log_debug("generator: skipping disconnecting failure on fiber ", f);
+    }
+  }
+  std::vector<int> site_ids(topo.num_sites());
+  for (int s = 0; s < topo.num_sites(); ++s) site_ids[s] = s;
+  rng.shuffle(site_ids);
+  added = 0;
+  for (int s : site_ids) {
+    if (added >= params.site_failures) break;
+    Failure failure;
+    failure.sites = {s};
+    failure.name = "site-" + topo.site(s).name;
+    if (failure_is_safe(failure)) {
+      topo.add_failure(std::move(failure));
+      ++added;
+    }
+  }
+  // Shared-conduit (SRLG) failures: both fibers of a twin pair go down
+  // together, so parallel IP links do not protect each other.
+  if (params.conduit_failures) {
+    for (const auto& [base, twin] : conduit_pairs) {
+      Failure failure;
+      failure.fibers = {base, twin};
+      failure.name = "conduit-" + topo.fiber(base).name;
+      if (failure_is_safe(failure)) topo.add_failure(std::move(failure));
+    }
+  }
+
+  // ---- existing capacity from a shortest-path reference plan ----
+  if (params.initial_capacity_fraction > 0.0) {
+    const std::vector<int> reference = reference_units(topo);
+    for (int l = 0; l < topo.num_links(); ++l) {
+      const int units = std::min(
+          static_cast<int>(std::round(params.initial_capacity_fraction * reference[l])),
+          topo.link_max_units(l));
+      topo.set_link_initial_units(l, units);
+    }
+  }
+
+  topo.validate();
+  return topo;
+}
+
+GeneratorParams preset(char topology_id) {
+  GeneratorParams p;
+  p.name = std::string("topo-") + topology_id;
+  switch (topology_id) {
+    case 'A':
+      p.regions = 2; p.sites_per_region = 3; p.chords_per_region = 0;
+      p.interregion_fibers = 2; p.parallel_link_fraction = 0.25;
+      p.express_links = 1; p.num_flows = 8; p.total_demand_tbps = 4.0;
+      p.single_fiber_failures = 7; p.site_failures = 1;
+      p.max_flow_sources = 4;
+      break;
+    case 'B':
+      p.regions = 2; p.sites_per_region = 4; p.chords_per_region = 1;
+      p.interregion_fibers = 2; p.parallel_link_fraction = 0.3;
+      p.express_links = 2; p.num_flows = 16; p.total_demand_tbps = 10.0;
+      p.single_fiber_failures = 12; p.site_failures = 2;
+      p.max_flow_sources = 6;
+      break;
+    case 'C':
+      p.regions = 3; p.sites_per_region = 4; p.chords_per_region = 1;
+      p.interregion_fibers = 2; p.parallel_link_fraction = 0.3;
+      p.express_links = 3; p.num_flows = 32; p.total_demand_tbps = 14.0;
+      p.single_fiber_failures = 18; p.site_failures = 2;
+      p.max_flow_sources = 7;
+      break;
+    case 'D':
+      p.regions = 3; p.sites_per_region = 5; p.chords_per_region = 2;
+      p.interregion_fibers = 2; p.parallel_link_fraction = 0.35;
+      p.express_links = 4; p.num_flows = 48; p.total_demand_tbps = 22.0;
+      p.single_fiber_failures = 26; p.site_failures = 3;
+      p.max_flow_sources = 8;
+      break;
+    case 'E':
+      p.regions = 4; p.sites_per_region = 5; p.chords_per_region = 2;
+      p.interregion_fibers = 2; p.parallel_link_fraction = 0.4;
+      p.express_links = 5; p.num_flows = 72; p.total_demand_tbps = 32.0;
+      p.single_fiber_failures = 36; p.site_failures = 3;
+      p.max_flow_sources = 9;
+      break;
+    default:
+      throw std::invalid_argument("preset: topology id must be 'A'..'E'");
+  }
+  p.seed = 100u + static_cast<unsigned>(topology_id - 'A');
+  return p;
+}
+
+Topology make_preset(char topology_id, unsigned seed) {
+  GeneratorParams p = preset(topology_id);
+  if (seed != 1) p.seed = seed;
+  return generate(p);
+}
+
+Topology scale_initial_capacity(const Topology& topology, double fraction) {
+  if (fraction < 0.0) {
+    throw std::invalid_argument("scale_initial_capacity: negative fraction");
+  }
+  Topology scaled = topology;
+  for (int l = 0; l < scaled.num_links(); ++l) {
+    const int units = std::min(
+        static_cast<int>(std::round(fraction * topology.link(l).initial_units)),
+        topology.link_max_units(l));
+    scaled.set_link_initial_units(l, units);
+  }
+  scaled.set_name(topology.name() + "-x" + std::to_string(fraction));
+  return scaled;
+}
+
+}  // namespace np::topo

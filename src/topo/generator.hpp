@@ -1,0 +1,96 @@
+// Synthetic production-like WAN generator.
+//
+// The paper evaluates on five proprietary Facebook backbone topologies
+// (A..E, ascending size). We reproduce their *structure*: multi-region
+// backbones (regional rings with chords, 2x-redundant long-haul
+// inter-region fibers), parallel IP links over distinct fiber paths,
+// express IP links spanning several fibers, gravity-model traffic with
+// two Classes of Service, and failure sets of single-fiber cuts plus
+// site failures. Sizes are scaled to a CPU budget; see DESIGN.md §2
+// for the substitution rationale.
+//
+// Every generated instance is *guaranteed plannable*: the generator
+// verifies that each required flow remains topologically connected
+// under every failure (dropping the rare failure that would disconnect
+// one) and that fiber spectrum suffices for worst-case routing.
+#pragma once
+
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace np::topo {
+
+struct GeneratorParams {
+  std::string name = "synthetic";
+  unsigned seed = 1;
+
+  // ---- optical layer ----
+  int regions = 2;
+  int sites_per_region = 3;
+  int chords_per_region = 1;       ///< extra intra-region fibers beyond the ring
+  int interregion_fibers = 2;      ///< disjoint long-hauls between adjacent regions
+  double region_radius_km = 300.0;
+  double backbone_radius_km = 2000.0;
+  double spectrum_ghz = 4800.0;    ///< S_f per fiber
+  double fiber_cost_per_km = 10.0; ///< build cost = this * length
+
+  // ---- IP layer ----
+  /// Fraction of single-fiber IP links that get a parallel sibling over
+  /// a physically distinct (second) fiber.
+  double parallel_link_fraction = 0.3;
+  int express_links = 2;           ///< IP links over two-fiber paths
+  double spectrum_per_unit_ghz = 37.5;
+  /// Distance-adaptive modulation: longer IP paths need lower-order
+  /// modulation and therefore more spectrum per capacity unit (the
+  /// spectral-efficiency literature the paper builds its Eq. 4 on).
+  /// When set, spectrum_per_unit_ghz becomes the mid tier and links get
+  /// 2/3 x (short, < short_reach_km), 1 x (mid), or 4/3 x (long).
+  bool distance_adaptive_modulation = false;
+  double short_reach_km = 700.0;
+  double long_reach_km = 2500.0;
+  double capacity_unit_gbps = 100.0;
+  /// Existing capacity = this fraction of a shortest-path reference
+  /// plan (0 -> long-term planning from scratch).
+  double initial_capacity_fraction = 0.25;
+
+  // ---- traffic ----
+  int num_flows = 10;
+  double total_demand_tbps = 4.0;  ///< sum of flow demands
+  double silver_fraction = 0.3;    ///< CoS mix; silver is unprotected
+  /// Flows originate only from the heaviest `max_flow_sources` sites
+  /// (0 = unlimited). Production WAN traffic is hub-heavy (datacenters
+  /// source most bytes); this also bounds the per-scenario LP size,
+  /// which scales with the number of distinct sources.
+  int max_flow_sources = 0;
+
+  // ---- failures ----
+  int single_fiber_failures = 8;   ///< sampled single-fiber cuts
+  int site_failures = 1;
+  /// Shared-risk link groups: parallel (twin) fibers ride the same
+  /// conduit, so a backhoe cuts both. When set, each twin pair also
+  /// yields one two-fiber conduit failure — the cross-layer coupling
+  /// the paper's §1 calls out ("a failure in the optical layer may
+  /// affect multiple links in the IP layer").
+  bool conduit_failures = false;
+
+  // ---- cost model ----
+  double ip_cost_per_gbps_km = 0.01;
+};
+
+/// Generate a topology; throws std::invalid_argument on nonsense
+/// parameters and std::runtime_error if it cannot build a plannable
+/// instance (does not happen for the presets).
+Topology generate(const GeneratorParams& params);
+
+/// Paper-scale presets 'A'..'E' (ascending size, Figure 7/9 workloads).
+GeneratorParams preset(char topology_id);
+
+/// Convenience: generate preset `topology_id` with the given seed.
+Topology make_preset(char topology_id, unsigned seed = 1);
+
+/// The A-x synthetic variants of §6.2: scale every link's existing
+/// capacity to `fraction` of its current value (A-0 .. A-1).
+Topology scale_initial_capacity(const Topology& topology, double fraction);
+
+}  // namespace np::topo

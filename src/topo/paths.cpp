@@ -1,0 +1,59 @@
+#include "topo/paths.hpp"
+
+#include <algorithm>
+#include <queue>
+#include <stdexcept>
+
+namespace np::topo {
+
+std::vector<int> shortest_ip_path(const Topology& topology, int src, int dst,
+                                  const std::vector<bool>& usable) {
+  if (usable.size() != static_cast<std::size_t>(topology.num_links())) {
+    throw std::invalid_argument("shortest_ip_path: usable size mismatch");
+  }
+  if (src < 0 || src >= topology.num_sites() || dst < 0 ||
+      dst >= topology.num_sites()) {
+    throw std::invalid_argument("shortest_ip_path: site out of range");
+  }
+  const int n = topology.num_sites();
+  std::vector<double> dist(n, 1e18);
+  std::vector<int> via_link(n, -1);
+  std::vector<int> prev(n, -1);
+  using Entry = std::pair<double, int>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> queue;
+  dist[src] = 0.0;
+  queue.push({0.0, src});
+  while (!queue.empty()) {
+    const auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    if (u == dst) break;
+    for (int l = 0; l < topology.num_links(); ++l) {
+      if (!usable[l]) continue;
+      const IpLink& link = topology.link(l);
+      int v = -1;
+      if (link.site_a == u) v = link.site_b;
+      else if (link.site_b == u) v = link.site_a;
+      else continue;
+      const double nd = d + topology.link_length_km(l);
+      if (nd < dist[v]) {
+        dist[v] = nd;
+        via_link[v] = l;
+        prev[v] = u;
+        queue.push({nd, v});
+      }
+    }
+  }
+  if (dist[dst] >= 1e18) return {};
+  std::vector<int> path;
+  for (int at = dst; at != src; at = prev[at]) path.push_back(via_link[at]);
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::vector<int> shortest_ip_path(const Topology& topology, int src, int dst) {
+  return shortest_ip_path(topology, src, dst,
+                          std::vector<bool>(topology.num_links(), true));
+}
+
+}  // namespace np::topo

@@ -1,0 +1,21 @@
+// Shortest-path routing over the IP layer — shared by the topology
+// generator (reference capacities), the greedy baseline planner and
+// examples.
+#pragma once
+
+#include <vector>
+
+#include "topo/topology.hpp"
+
+namespace np::topo {
+
+/// Dijkstra by link length over the IP links with usable[l] == true.
+/// Returns the link indices of a shortest src->dst path, or empty when
+/// disconnected. `usable` must have size num_links().
+std::vector<int> shortest_ip_path(const Topology& topology, int src, int dst,
+                                  const std::vector<bool>& usable);
+
+/// Convenience: all links usable.
+std::vector<int> shortest_ip_path(const Topology& topology, int src, int dst);
+
+}  // namespace np::topo

@@ -1,0 +1,197 @@
+#include "topo/serialize.hpp"
+
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+namespace np::topo {
+
+namespace {
+
+[[noreturn]] void parse_error(int line, const std::string& message) {
+  throw std::runtime_error("topology parse error at line " + std::to_string(line) +
+                           ": " + message);
+}
+
+/// Quote names so they survive round trips even with spaces.
+std::string quoted(const std::string& name) {
+  std::string out = "\"";
+  for (char c : name) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string read_token(std::istringstream& is, int line) {
+  is >> std::ws;
+  if (is.peek() != '"') {
+    std::string token;
+    if (!(is >> token)) parse_error(line, "expected token");
+    return token;
+  }
+  is.get();  // opening quote
+  std::string out;
+  for (;;) {
+    const int c = is.get();
+    if (c == EOF) parse_error(line, "unterminated quoted string");
+    if (c == '\\') {
+      const int next = is.get();
+      if (next == EOF) parse_error(line, "dangling escape");
+      out += static_cast<char>(next);
+      continue;
+    }
+    if (c == '"') break;
+    out += static_cast<char>(c);
+  }
+  return out;
+}
+
+double read_double(std::istringstream& is, int line) {
+  double value = 0.0;
+  if (!(is >> value)) parse_error(line, "expected number");
+  return value;
+}
+
+int read_int(std::istringstream& is, int line) {
+  int value = 0;
+  if (!(is >> value)) parse_error(line, "expected integer");
+  return value;
+}
+
+}  // namespace
+
+void save(const Topology& topo, std::ostream& out) {
+  out << "topology " << quoted(topo.name()) << "\n";
+  out << "unit " << topo.capacity_unit_gbps() << "\n";
+  out << "costmodel " << topo.cost_model().ip_cost_per_gbps_km << " "
+      << topo.cost_model().fiber_cost_per_ghz_fraction << "\n";
+  out << "policy "
+      << static_cast<int>(topo.reliability_policy().protected_under_failure) << "\n";
+  for (const Site& s : topo.sites()) {
+    out << "site " << quoted(s.name) << " " << s.x << " " << s.y << " " << s.region
+        << "\n";
+  }
+  for (const Fiber& f : topo.fibers()) {
+    out << "fiber " << quoted(f.name) << " " << f.site_a << " " << f.site_b << " "
+        << f.length_km << " " << f.spectrum_ghz << " " << f.build_cost << " "
+        << (f.existing ? 1 : 0) << "\n";
+  }
+  for (const IpLink& l : topo.links()) {
+    out << "link " << quoted(l.name) << " " << l.site_a << " " << l.site_b << " "
+        << l.spectrum_per_unit_ghz << " " << l.initial_units << " "
+        << l.fiber_path.size();
+    for (int f : l.fiber_path) out << " " << f;
+    out << "\n";
+  }
+  for (const Flow& fl : topo.flows()) {
+    out << "flow " << fl.src << " " << fl.dst << " " << fl.demand_gbps << " "
+        << static_cast<int>(fl.cos) << "\n";
+  }
+  for (const Failure& fa : topo.failures()) {
+    out << "failure " << quoted(fa.name) << " " << fa.fibers.size();
+    for (int f : fa.fibers) out << " " << f;
+    out << " " << fa.sites.size();
+    for (int s : fa.sites) out << " " << s;
+    out << "\n";
+  }
+}
+
+Topology load(std::istream& in) {
+  Topology topo;
+  CostModel cost;
+  ReliabilityPolicy policy;
+  std::string raw;
+  int line = 0;
+  while (std::getline(in, raw)) {
+    ++line;
+    const auto hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    std::istringstream is(raw);
+    std::string kind;
+    if (!(is >> kind)) continue;  // blank line
+    if (kind == "topology") {
+      topo.set_name(read_token(is, line));
+    } else if (kind == "unit") {
+      topo.set_capacity_unit_gbps(read_double(is, line));
+    } else if (kind == "costmodel") {
+      cost.ip_cost_per_gbps_km = read_double(is, line);
+      cost.fiber_cost_per_ghz_fraction = read_double(is, line);
+      topo.set_cost_model(cost);
+    } else if (kind == "policy") {
+      policy.protected_under_failure = static_cast<CoS>(read_int(is, line));
+      topo.set_reliability_policy(policy);
+    } else if (kind == "site") {
+      Site s;
+      s.name = read_token(is, line);
+      s.x = read_double(is, line);
+      s.y = read_double(is, line);
+      s.region = read_int(is, line);
+      topo.add_site(std::move(s));
+    } else if (kind == "fiber") {
+      Fiber f;
+      f.name = read_token(is, line);
+      f.site_a = read_int(is, line);
+      f.site_b = read_int(is, line);
+      f.length_km = read_double(is, line);
+      f.spectrum_ghz = read_double(is, line);
+      f.build_cost = read_double(is, line);
+      f.existing = read_int(is, line) != 0;
+      topo.add_fiber(std::move(f));
+    } else if (kind == "link") {
+      IpLink l;
+      l.name = read_token(is, line);
+      l.site_a = read_int(is, line);
+      l.site_b = read_int(is, line);
+      l.spectrum_per_unit_ghz = read_double(is, line);
+      l.initial_units = read_int(is, line);
+      const int k = read_int(is, line);
+      for (int i = 0; i < k; ++i) l.fiber_path.push_back(read_int(is, line));
+      topo.add_ip_link(std::move(l));
+    } else if (kind == "flow") {
+      Flow fl;
+      fl.src = read_int(is, line);
+      fl.dst = read_int(is, line);
+      fl.demand_gbps = read_double(is, line);
+      fl.cos = static_cast<CoS>(read_int(is, line));
+      topo.add_flow(fl);
+    } else if (kind == "failure") {
+      Failure fa;
+      fa.name = read_token(is, line);
+      const int k = read_int(is, line);
+      for (int i = 0; i < k; ++i) fa.fibers.push_back(read_int(is, line));
+      const int m = read_int(is, line);
+      for (int i = 0; i < m; ++i) fa.sites.push_back(read_int(is, line));
+      topo.add_failure(std::move(fa));
+    } else {
+      parse_error(line, "unknown record '" + kind + "'");
+    }
+  }
+  return topo;
+}
+
+std::string to_text(const Topology& topo) {
+  std::ostringstream os;
+  save(topo, os);
+  return os.str();
+}
+
+Topology from_text(const std::string& text) {
+  std::istringstream is(text);
+  return load(is);
+}
+
+void save_file(const Topology& topo, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open for writing: " + path);
+  save(topo, out);
+}
+
+Topology load_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open for reading: " + path);
+  return load(in);
+}
+
+}  // namespace np::topo

@@ -1,0 +1,37 @@
+// Plain-text (de)serialization for topologies.
+//
+// A line-oriented format so planning problems can be saved, shared and
+// diffed. Grammar (one record per line, '#' starts a comment):
+//
+//   topology <name>
+//   unit <capacity_unit_gbps>
+//   costmodel <ip_cost_per_gbps_km> <fiber_cost_per_ghz_fraction>
+//   policy <protected_cos:int>
+//   site <name> <x> <y> <region>
+//   fiber <name> <site_a> <site_b> <length_km> <spectrum_ghz> <cost> <existing:0|1>
+//   link <name> <site_a> <site_b> <spectrum_per_unit> <initial_units> <k> <f_1..f_k>
+//   flow <src> <dst> <demand_gbps> <cos:int>
+//   failure <name> <k> <fiber_1..fiber_k> <m> <site_1..site_m>
+//
+// Records must appear after the entities they reference (the natural
+// write order). Parsing errors throw std::runtime_error with the line
+// number.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "topo/topology.hpp"
+
+namespace np::topo {
+
+void save(const Topology& topology, std::ostream& out);
+Topology load(std::istream& in);
+
+std::string to_text(const Topology& topology);
+Topology from_text(const std::string& text);
+
+void save_file(const Topology& topology, const std::string& path);
+Topology load_file(const std::string& path);
+
+}  // namespace np::topo

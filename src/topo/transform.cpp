@@ -1,0 +1,114 @@
+#include "topo/transform.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace np::topo {
+
+namespace {
+
+/// z-normalize a vector in place (mean 0, std 1); constant vectors
+/// normalize to all zeros.
+void z_normalize(std::vector<double>& values) {
+  if (values.empty()) return;
+  double mean = 0.0;
+  for (double v : values) mean += v;
+  mean /= static_cast<double>(values.size());
+  double var = 0.0;
+  for (double v : values) var += (v - mean) * (v - mean);
+  var /= static_cast<double>(values.size());
+  const double std_dev = std::sqrt(var);
+  for (double& v : values) v = std_dev > 1e-12 ? (v - mean) / std_dev : 0.0;
+}
+
+}  // namespace
+
+TransformedGraph node_link_transform(const Topology& topology) {
+  TransformedGraph graph;
+  const int n = topology.num_links();
+  graph.num_nodes = n;
+
+  auto unordered_pair_equal = [&](int i, int j) {
+    const IpLink& a = topology.link(i);
+    const IpLink& b = topology.link(j);
+    const int a_lo = std::min(a.site_a, a.site_b), a_hi = std::max(a.site_a, a.site_b);
+    const int b_lo = std::min(b.site_a, b.site_b), b_hi = std::max(b.site_a, b.site_b);
+    return a_lo == b_lo && a_hi == b_hi;
+  };
+  auto share_endpoint = [&](int i, int j) {
+    const IpLink& a = topology.link(i);
+    const IpLink& b = topology.link(j);
+    return a.site_a == b.site_a || a.site_a == b.site_b || a.site_b == b.site_a ||
+           a.site_b == b.site_b;
+  };
+
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      if (share_endpoint(i, j) && !unordered_pair_equal(i, j)) {
+        graph.edges.emplace_back(i, j);
+      }
+    }
+  }
+
+  // Eq. 7 operator: D^{-1/2} (A + I) D^{-1/2} with D the degree matrix
+  // of A + I (self-loops included).
+  std::vector<double> degree(n, 1.0);  // self-loop
+  for (const auto& [i, j] : graph.edges) {
+    degree[i] += 1.0;
+    degree[j] += 1.0;
+  }
+  std::vector<la::Triplet> triplets;
+  triplets.reserve(graph.edges.size() * 2 + n);
+  for (int i = 0; i < n; ++i) {
+    triplets.push_back({static_cast<std::size_t>(i), static_cast<std::size_t>(i),
+                        1.0 / degree[i]});
+  }
+  for (const auto& [i, j] : graph.edges) {
+    const double w = 1.0 / std::sqrt(degree[i] * degree[j]);
+    triplets.push_back({static_cast<std::size_t>(i), static_cast<std::size_t>(j), w});
+    triplets.push_back({static_cast<std::size_t>(j), static_cast<std::size_t>(i), w});
+  }
+  graph.normalized_adjacency = std::make_shared<la::CsrMatrix>(
+      la::CsrMatrix(static_cast<std::size_t>(n), static_cast<std::size_t>(n),
+                    std::move(triplets)));
+  return graph;
+}
+
+int feature_dimension(bool include_static_features) {
+  return include_static_features ? 4 : 1;
+}
+
+la::Matrix node_features(const Topology& topology,
+                         const std::vector<int>& total_units,
+                         bool include_static_features) {
+  const int n = topology.num_links();
+  if (total_units.size() != static_cast<std::size_t>(n)) {
+    throw std::invalid_argument("node_features: unit vector size mismatch");
+  }
+  const int f = feature_dimension(include_static_features);
+  la::Matrix features(static_cast<std::size_t>(n), static_cast<std::size_t>(f), 0.0);
+
+  std::vector<double> capacity(n);
+  for (int i = 0; i < n; ++i) capacity[i] = static_cast<double>(total_units[i]);
+  z_normalize(capacity);
+  for (int i = 0; i < n; ++i) features(i, 0) = capacity[i];
+
+  if (include_static_features) {
+    std::vector<double> length(n);
+    for (int i = 0; i < n; ++i) {
+      const int cap = topology.link_max_units(i);
+      features(i, 1) = cap > 0 ? static_cast<double>(total_units[i]) / cap : 0.0;
+      length[i] = topology.link_length_km(i);
+    }
+    z_normalize(length);
+    for (int i = 0; i < n; ++i) {
+      features(i, 2) = length[i];
+      const int cap = topology.link_max_units(i);
+      features(i, 3) =
+          cap > 0 ? static_cast<double>(cap - total_units[i]) / cap : 0.0;
+    }
+  }
+  return features;
+}
+
+}  // namespace np::topo

@@ -1,0 +1,50 @@
+// Node-link transformation (§4.2, Figure 5) and GCN inputs.
+//
+// Each IP link of the topology becomes a node of the transformed graph
+// (indices coincide). Two transformed nodes are adjacent iff their
+// links share an endpoint site in the original topology, EXCEPT when
+// the two links are parallel (same unordered site pair): parallel
+// links provide capacity between the same pair and their capacities
+// must not be propagated into each other during GCN message passing.
+#pragma once
+
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "la/matrix.hpp"
+#include "la/sparse.hpp"
+#include "topo/topology.hpp"
+
+namespace np::topo {
+
+struct TransformedGraph {
+  int num_nodes = 0;  ///< == topology.num_links()
+  /// Undirected edges (i < j) between transformed nodes.
+  std::vector<std::pair<int, int>> edges;
+  /// GCN propagation operator of Eq. 7: D^{-1/2} (A + I) D^{-1/2},
+  /// shared across training steps (the structure never changes; only
+  /// node features do).
+  std::shared_ptr<const la::CsrMatrix> normalized_adjacency;
+};
+
+/// Build the transformed graph for a topology.
+TransformedGraph node_link_transform(const Topology& topology);
+
+/// Per-node feature matrix for the transformed graph (n x features).
+///
+/// Column 0 is the paper's dynamic feature: the link's current total
+/// capacity units, z-normalized across nodes (mean 0, std 1). When
+/// `include_static_features` is set, three static/derived columns are
+/// appended: utilization (units / spectrum cap), z-normalized link
+/// length, and remaining-headroom fraction. These are deterministic
+/// functions of the topology and help the policy distinguish links;
+/// the paper's ablation (Fig. 10) is run with column 0 semantics.
+la::Matrix node_features(const Topology& topology,
+                         const std::vector<int>& total_units,
+                         bool include_static_features = true);
+
+/// Number of feature columns produced by node_features.
+int feature_dimension(bool include_static_features = true);
+
+}  // namespace np::topo

@@ -1,0 +1,28 @@
+#include "util/env.hpp"
+
+#include <cstdlib>
+
+namespace np {
+
+long env_long(const char* name, long fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const long value = std::strtol(raw, &end, 10);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+double env_double(const char* name, double fallback) {
+  const char* raw = std::getenv(name);
+  if (raw == nullptr || *raw == '\0') return fallback;
+  char* end = nullptr;
+  const double value = std::strtod(raw, &end);
+  return (end != nullptr && *end == '\0') ? value : fallback;
+}
+
+std::string env_string(const char* name, const std::string& fallback) {
+  const char* raw = std::getenv(name);
+  return (raw == nullptr || *raw == '\0') ? fallback : std::string(raw);
+}
+
+}  // namespace np

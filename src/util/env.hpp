@@ -1,0 +1,19 @@
+// Environment-variable configuration knobs for benches and examples.
+// Benchmarks default to CPU-friendly scales; these helpers let a user
+// crank fidelity up (NEUROPLAN_EPOCHS=1024 ...) without recompiling.
+#pragma once
+
+#include <string>
+
+namespace np {
+
+/// Read an integer env var; returns fallback when unset or unparsable.
+long env_long(const char* name, long fallback);
+
+/// Read a floating-point env var; returns fallback when unset or unparsable.
+double env_double(const char* name, double fallback);
+
+/// Read a string env var; returns fallback when unset.
+std::string env_string(const char* name, const std::string& fallback);
+
+}  // namespace np

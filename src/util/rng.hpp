@@ -1,0 +1,121 @@
+// Deterministic pseudo-random number generation for the whole project.
+//
+// Every stochastic component (topology generators, policy sampling,
+// parameter init) takes an explicit Rng so runs are reproducible
+// bit-for-bit given a seed. The generator is xoshiro256**, which is
+// fast, has a 256-bit state and passes BigCrush; we deliberately avoid
+// std::mt19937 so results do not depend on the standard library
+// implementation of distributions.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstddef>
+#include <cmath>
+#include <vector>
+
+namespace np {
+
+/// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  /// Re-initialize the state from a 64-bit seed via splitmix64, which
+  /// guarantees a well-mixed, never-all-zero state.
+  void reseed(std::uint64_t seed) {
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~result_type{0}; }
+
+  result_type operator()() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>((*this)() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Requires n > 0. Uses rejection to avoid
+  /// modulo bias.
+  std::size_t uniform_index(std::size_t n) {
+    const std::uint64_t bound = n;
+    const std::uint64_t threshold = (~bound + 1) % bound;  // 2^64 mod n
+    for (;;) {
+      const std::uint64_t r = (*this)();
+      if (r >= threshold) return static_cast<std::size_t>(r % bound);
+    }
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  long uniform_int(long lo, long hi) {
+    return lo + static_cast<long>(uniform_index(static_cast<std::size_t>(hi - lo + 1)));
+  }
+
+  /// Standard normal via Box-Muller (no cached spare: keeps state simple).
+  double normal() {
+    double u1 = uniform();
+    while (u1 <= 0.0) u1 = uniform();
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(6.283185307179586 * u2);
+  }
+
+  double normal(double mean, double stddev) { return mean + stddev * normal(); }
+
+  /// Sample an index from unnormalized non-negative weights.
+  /// Requires at least one strictly positive weight.
+  std::size_t weighted_index(const std::vector<double>& weights) {
+    double total = 0.0;
+    for (double w : weights) total += w;
+    double r = uniform() * total;
+    for (std::size_t i = 0; i < weights.size(); ++i) {
+      r -= weights[i];
+      if (r < 0.0) return i;
+    }
+    return weights.size() - 1;  // numeric slack: fall through to last
+  }
+
+  /// Fisher-Yates shuffle.
+  template <class T>
+  void shuffle(std::vector<T>& items) {
+    for (std::size_t i = items.size(); i > 1; --i) {
+      using std::swap;
+      swap(items[i - 1], items[uniform_index(i)]);
+    }
+  }
+
+  /// Derive an independent child stream (for parallel components).
+  Rng split() { return Rng((*this)() ^ 0xd1342543de82ef95ULL); }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+}  // namespace np

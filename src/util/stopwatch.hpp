@@ -1,0 +1,27 @@
+// Monotonic wall-clock stopwatch used by solvers (time limits) and the
+// benchmark harness (normalized running-time figures).
+#pragma once
+
+#include <chrono>
+
+namespace np {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(Clock::now()) {}
+
+  void restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last restart().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double millis() const { return seconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace np

@@ -1,0 +1,38 @@
+// Plain-text table printer used by the bench harness to emit the same
+// rows/series the paper's figures report.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace np {
+
+/// Accumulates rows of strings and prints them with aligned columns.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append one row; must have the same arity as the header.
+  void add_row(std::vector<std::string> cells);
+
+  /// Render with a separator line under the header.
+  std::string to_string() const;
+
+  /// Convenience: render to stdout.
+  void print() const;
+
+  std::size_t rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Format a double with fixed precision (bench output helper).
+std::string fmt_double(double value, int precision = 3);
+
+/// Format a normalized value or "x" for a timed-out / omitted entry,
+/// matching the crosses in the paper's figures.
+std::string fmt_or_cross(double value, bool valid, int precision = 3);
+
+}  // namespace np

@@ -1,0 +1,175 @@
+// Tests for the §5/§3.2 extensions: parallel failure checking, region
+// decomposition, and parameter checkpoints.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ad/checkpoint.hpp"
+#include "core/baselines.hpp"
+#include "core/decomposition.hpp"
+#include "nn/actor_critic.hpp"
+#include "plan/evaluator.hpp"
+#include "plan/parallel_evaluator.hpp"
+#include "topo/generator.hpp"
+#include "util/rng.hpp"
+
+namespace np {
+namespace {
+
+// ---- parallel failure checking ----
+
+TEST(ParallelEvaluator, AgreesWithSequentialVerdicts) {
+  topo::Topology t = topo::make_preset('B');
+  plan::ParallelPlanEvaluator parallel(t, 4);
+  plan::PlanEvaluator sequential(t, plan::EvaluatorMode::kSourceAggregation);
+  Rng rng(3);
+  std::vector<int> units = t.initial_units();
+  for (int step = 0; step < 5; ++step) {
+    const plan::CheckResult p = parallel.check(units);
+    const plan::CheckResult s = sequential.check(units);
+    EXPECT_EQ(p.feasible, s.feasible) << "step " << step;
+    if (!p.feasible) EXPECT_EQ(p.violated_scenario, s.violated_scenario);
+    const int link = static_cast<int>(rng.uniform_index(t.num_links()));
+    units[link] = std::min(units[link] + 3, t.link_max_units(link));
+  }
+}
+
+TEST(ParallelEvaluator, SingleThreadDegradesGracefully) {
+  topo::Topology t = topo::make_preset('A');
+  plan::ParallelPlanEvaluator eval(t, 1);
+  EXPECT_EQ(eval.threads(), 1);
+  std::vector<int> saturated(t.num_links());
+  for (int l = 0; l < t.num_links(); ++l) saturated[l] = t.link_max_units(l);
+  EXPECT_TRUE(eval.check(saturated).feasible);
+}
+
+TEST(ParallelEvaluator, ThreadCountCappedByScenarios) {
+  topo::Topology t = topo::make_preset('A');
+  plan::ParallelPlanEvaluator eval(t, 1000);
+  EXPECT_LE(eval.threads(), eval.num_scenarios());
+}
+
+TEST(ParallelEvaluator, ValidatesInputs) {
+  topo::Topology t = topo::make_preset('A');
+  EXPECT_THROW(plan::ParallelPlanEvaluator(t, 0), std::invalid_argument);
+  plan::ParallelPlanEvaluator eval(t, 2);
+  EXPECT_THROW(eval.check({1}), std::invalid_argument);
+  std::vector<int> bad(t.num_links(), -1);
+  EXPECT_THROW(eval.check(bad), std::invalid_argument);
+}
+
+TEST(ParallelEvaluator, ReportsSmallestViolatedScenario) {
+  topo::Topology t = topo::make_preset('A');
+  plan::ParallelPlanEvaluator parallel(t, 3);
+  plan::PlanEvaluator sequential(t, plan::EvaluatorMode::kSourceAggregation);
+  const std::vector<int> zeros(t.num_links(), 0);
+  const plan::CheckResult p = parallel.check(zeros);
+  const plan::CheckResult s = sequential.check(zeros);
+  ASSERT_FALSE(p.feasible);
+  EXPECT_EQ(p.violated_scenario, s.violated_scenario);
+}
+
+// ---- region decomposition ----
+
+TEST(Decomposition, ProducesFeasiblePlan) {
+  topo::Topology t = topo::make_preset('B');
+  core::DecompositionConfig config;
+  config.regional.time_limit_per_solve_seconds = 20.0;
+  config.regional.total_time_limit_seconds = 60.0;
+  config.regional.relative_gap = 1e-2;
+  const core::DecompositionResult r = core::solve_region_decomposition(t, config);
+  ASSERT_TRUE(r.plan.feasible) << r.plan.detail;
+  EXPECT_EQ(r.regions, 2);
+  EXPECT_TRUE(core::verify_result(t, r.plan).feasible);
+}
+
+TEST(Decomposition, NoWorseThanGreedyEverywhere) {
+  // The repair pass takes elementwise max with greedy only when needed,
+  // so cost <= greedy + regional refinement can only shave regional fat
+  // ... but stitching may also overprovision; assert feasibility and a
+  // sane bound instead of strict dominance.
+  topo::Topology t = topo::make_preset('A');
+  const core::DecompositionResult r = core::solve_region_decomposition(t, {});
+  const core::PlanResult greedy = core::solve_greedy(t);
+  ASSERT_TRUE(r.plan.feasible);
+  ASSERT_TRUE(greedy.feasible);
+  EXPECT_LE(r.plan.cost, 2.0 * greedy.cost);
+}
+
+TEST(Decomposition, CoarseUnitsSupported) {
+  topo::Topology t = topo::make_preset('A');
+  core::DecompositionConfig config;
+  config.unit_multiplier = 4;
+  const core::DecompositionResult r = core::solve_region_decomposition(t, config);
+  EXPECT_TRUE(r.plan.feasible);
+}
+
+// ---- checkpoints ----
+
+TEST(Checkpoint, RoundTripRestoresValues) {
+  Rng rng(5);
+  nn::NetworkConfig c;
+  c.feature_dim = 4;
+  c.gcn_layers = 1;
+  c.gcn_hidden = 8;
+  c.mlp_hidden = {8};
+  c.max_units_per_step = 2;
+  nn::ActorCritic a(c, rng), b(c, rng);
+  // Perturb b so it differs from a.
+  for (ad::Parameter* p : b.all_parameters()) {
+    for (double& v : p->value.flat()) v += 1.0;
+  }
+  std::stringstream buffer;
+  ad::save_parameters(a.all_parameters(), buffer);
+  ad::load_parameters(b.all_parameters(), buffer);
+  const auto pa = a.all_parameters();
+  const auto pb = b.all_parameters();
+  ASSERT_EQ(pa.size(), pb.size());
+  for (std::size_t i = 0; i < pa.size(); ++i) {
+    EXPECT_LT(la::max_abs_diff(pa[i]->value, pb[i]->value), 1e-15) << pa[i]->name;
+  }
+}
+
+TEST(Checkpoint, ShapeMismatchThrows) {
+  ad::Parameter small("w", la::Matrix(2, 2, 1.0));
+  ad::Parameter big("w", la::Matrix(3, 3, 1.0));
+  std::stringstream buffer;
+  ad::save_parameters({&small}, buffer);
+  EXPECT_THROW(ad::load_parameters({&big}, buffer), std::runtime_error);
+}
+
+TEST(Checkpoint, UnknownParameterThrows) {
+  ad::Parameter a("a", la::Matrix(1, 1, 1.0));
+  ad::Parameter b("b", la::Matrix(1, 1, 1.0));
+  std::stringstream buffer;
+  ad::save_parameters({&a}, buffer);
+  EXPECT_THROW(ad::load_parameters({&b}, buffer), std::runtime_error);
+}
+
+TEST(Checkpoint, MissingParameterThrows) {
+  ad::Parameter a("a", la::Matrix(1, 1, 1.0));
+  ad::Parameter b("b", la::Matrix(1, 1, 1.0));
+  std::stringstream buffer;
+  ad::save_parameters({&a}, buffer);
+  EXPECT_THROW(ad::load_parameters({&a, &b}, buffer), std::runtime_error);
+}
+
+TEST(Checkpoint, RejectsWhitespaceNames) {
+  ad::Parameter bad("has space", la::Matrix(1, 1, 1.0));
+  std::stringstream buffer;
+  EXPECT_THROW(ad::save_parameters({&bad}, buffer), std::invalid_argument);
+}
+
+TEST(Checkpoint, FileRoundTrip) {
+  ad::Parameter p("w", la::Matrix{{1.5, -2.25}});
+  const std::string path = ::testing::TempDir() + "/np_ckpt_test.txt";
+  ad::save_parameters_file({&p}, path);
+  p.value(0, 0) = 0.0;
+  ad::load_parameters_file({&p}, path);
+  EXPECT_DOUBLE_EQ(p.value(0, 0), 1.5);
+  EXPECT_THROW(ad::load_parameters_file({&p}, "/nonexistent/x.txt"),
+               std::runtime_error);
+}
+
+}  // namespace
+}  // namespace np

@@ -1,0 +1,204 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <stdexcept>
+
+#include "la/matrix.hpp"
+#include "la/sparse.hpp"
+#include "util/rng.hpp"
+
+namespace np::la {
+namespace {
+
+TEST(Matrix, ConstructAndFill) {
+  Matrix m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  for (std::size_t r = 0; r < 2; ++r) {
+    for (std::size_t c = 0; c < 3; ++c) EXPECT_DOUBLE_EQ(m(r, c), 1.5);
+  }
+}
+
+TEST(Matrix, InitializerList) {
+  Matrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3u);
+  EXPECT_EQ(m.cols(), 2u);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((Matrix{{1, 2}, {3}}), std::invalid_argument);
+}
+
+TEST(Matrix, IdentityAndMatmul) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix i = Matrix::identity(2);
+  EXPECT_EQ(a.matmul(i), a);
+  EXPECT_EQ(i.matmul(a), a);
+}
+
+TEST(Matrix, MatmulKnownValues) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix b{{7, 8}, {9, 10}, {11, 12}};
+  Matrix c = a.matmul(b);
+  EXPECT_DOUBLE_EQ(c(0, 0), 58.0);
+  EXPECT_DOUBLE_EQ(c(0, 1), 64.0);
+  EXPECT_DOUBLE_EQ(c(1, 0), 139.0);
+  EXPECT_DOUBLE_EQ(c(1, 1), 154.0);
+}
+
+TEST(Matrix, MatmulDimensionMismatchThrows) {
+  Matrix a(2, 3);
+  Matrix b(2, 3);
+  EXPECT_THROW(a.matmul(b), std::invalid_argument);
+}
+
+TEST(Matrix, AdditionSubtractionScaling) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{4, 3}, {2, 1}};
+  EXPECT_EQ(a + b, (Matrix{{5, 5}, {5, 5}}));
+  EXPECT_EQ(a - b, (Matrix{{-3, -1}, {1, 3}}));
+  EXPECT_EQ(a * 2.0, (Matrix{{2, 4}, {6, 8}}));
+  EXPECT_EQ(-a, (Matrix{{-1, -2}, {-3, -4}}));
+}
+
+TEST(Matrix, ShapeMismatchThrows) {
+  Matrix a(2, 2), b(2, 3);
+  EXPECT_THROW(a + b, std::invalid_argument);
+  EXPECT_THROW(a.hadamard(b), std::invalid_argument);
+}
+
+TEST(Matrix, Hadamard) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix b{{2, 2}, {2, 2}};
+  EXPECT_EQ(a.hadamard(b), (Matrix{{2, 4}, {6, 8}}));
+}
+
+TEST(Matrix, Transpose) {
+  Matrix a{{1, 2, 3}, {4, 5, 6}};
+  Matrix t = a.transposed();
+  EXPECT_EQ(t.rows(), 3u);
+  EXPECT_EQ(t.cols(), 2u);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+  EXPECT_EQ(t.transposed(), a);
+}
+
+TEST(Matrix, MapAppliesFunction) {
+  Matrix a{{-1, 2}};
+  Matrix r = a.map([](double x) { return x > 0 ? x : 0.0; });
+  EXPECT_EQ(r, (Matrix{{0, 2}}));
+}
+
+TEST(Matrix, AddRowBroadcast) {
+  Matrix a{{1, 2}, {3, 4}};
+  Matrix bias{{10, 20}};
+  EXPECT_EQ(a.add_row_broadcast(bias), (Matrix{{11, 22}, {13, 24}}));
+}
+
+TEST(Matrix, AddRowBroadcastRejectsWrongShape) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.add_row_broadcast(Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(a.add_row_broadcast(Matrix(1, 3)), std::invalid_argument);
+}
+
+TEST(Matrix, Reductions) {
+  Matrix a{{1, 2}, {3, 4}};
+  EXPECT_EQ(a.sum_rows(), (Matrix{{4, 6}}));
+  EXPECT_EQ(a.sum_cols(), (Matrix{{3}, {7}}));
+  EXPECT_DOUBLE_EQ(a.sum(), 10.0);
+  EXPECT_DOUBLE_EQ(a.mean(), 2.5);
+  EXPECT_DOUBLE_EQ(a.max_abs(), 4.0);
+}
+
+TEST(Matrix, MeanOfEmptyThrows) {
+  Matrix m;
+  EXPECT_THROW(m.mean(), std::invalid_argument);
+}
+
+TEST(Matrix, NonFiniteDetection) {
+  Matrix a{{1, 2}};
+  EXPECT_FALSE(a.has_non_finite());
+  a(0, 1) = std::nan("");
+  EXPECT_TRUE(a.has_non_finite());
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix a(2, 2);
+  EXPECT_THROW(a.at(2, 0), std::out_of_range);
+  EXPECT_THROW(a.at(0, 2), std::out_of_range);
+  EXPECT_NO_THROW(a.at(1, 1));
+}
+
+TEST(Matrix, RowAndColVector) {
+  Matrix r = Matrix::row_vector({1, 2, 3});
+  EXPECT_EQ(r.rows(), 1u);
+  EXPECT_EQ(r.cols(), 3u);
+  Matrix c = Matrix::col_vector({1, 2, 3});
+  EXPECT_EQ(c.rows(), 3u);
+  EXPECT_EQ(c.cols(), 1u);
+}
+
+TEST(Matrix, MaxAbsDiff) {
+  Matrix a{{1, 2}}, b{{1.5, 2}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(a, b), 0.5);
+  EXPECT_THROW(max_abs_diff(a, Matrix(2, 1)), std::invalid_argument);
+}
+
+TEST(Csr, BuildAndDensify) {
+  CsrMatrix m(2, 3, {{0, 1, 2.0}, {1, 0, -1.0}, {0, 1, 3.0}});
+  EXPECT_EQ(m.nnz(), 2u);  // duplicates merged
+  EXPECT_DOUBLE_EQ(m.at(0, 1), 5.0);
+  EXPECT_DOUBLE_EQ(m.at(1, 0), -1.0);
+  EXPECT_DOUBLE_EQ(m.at(0, 0), 0.0);
+  Matrix d = m.to_dense();
+  EXPECT_DOUBLE_EQ(d(0, 1), 5.0);
+}
+
+TEST(Csr, OutOfBoundsTripletThrows) {
+  EXPECT_THROW(CsrMatrix(2, 2, {{2, 0, 1.0}}), std::invalid_argument);
+}
+
+TEST(Csr, MultiplyMatchesDense) {
+  Rng rng(31);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t r = 1 + rng.uniform_index(8);
+    const std::size_t c = 1 + rng.uniform_index(8);
+    const std::size_t k = 1 + rng.uniform_index(5);
+    Matrix dense(r, c);
+    for (std::size_t i = 0; i < r; ++i) {
+      for (std::size_t j = 0; j < c; ++j) {
+        dense(i, j) = rng.uniform() < 0.4 ? rng.normal() : 0.0;
+      }
+    }
+    Matrix x(c, k);
+    for (double& v : x.flat()) v = rng.normal();
+    CsrMatrix sparse = CsrMatrix::from_dense(dense);
+    EXPECT_LT(max_abs_diff(sparse.multiply(x), dense.matmul(x)), 1e-12);
+  }
+}
+
+TEST(Csr, MultiplyTransposedMatchesDense) {
+  Rng rng(37);
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::size_t r = 1 + rng.uniform_index(8);
+    const std::size_t c = 1 + rng.uniform_index(8);
+    const std::size_t k = 1 + rng.uniform_index(5);
+    Matrix dense(r, c);
+    for (double& v : dense.flat()) v = rng.uniform() < 0.4 ? rng.normal() : 0.0;
+    Matrix x(r, k);
+    for (double& v : x.flat()) v = rng.normal();
+    CsrMatrix sparse = CsrMatrix::from_dense(dense);
+    EXPECT_LT(max_abs_diff(sparse.multiply_transposed(x),
+                           dense.transposed().matmul(x)),
+              1e-12);
+  }
+}
+
+TEST(Csr, DimensionMismatchThrows) {
+  CsrMatrix m(2, 3, {});
+  EXPECT_THROW(m.multiply(Matrix(2, 2)), std::invalid_argument);
+  EXPECT_THROW(m.multiply_transposed(Matrix(3, 2)), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace np::la

@@ -1,0 +1,110 @@
+// Lazy scenario generation and shortest-path routing tests.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "core/lazy_solve.hpp"
+#include "plan/evaluator.hpp"
+#include "topo/generator.hpp"
+#include "topo/paths.hpp"
+
+namespace np::core {
+namespace {
+
+TEST(LazySolve, MatchesFullIlpOptimumOnPresetA) {
+  topo::Topology t = topo::make_preset('A');
+  // Full-model optimum via the formulation with all scenarios.
+  plan::FormulationOptions full;
+  plan::PlanningMilp milp(t, full);
+  milp::MilpOptions mo;
+  mo.time_limit_seconds = 120.0;
+  const milp::MilpResult exact = milp::solve(milp.model(), mo);
+  ASSERT_EQ(exact.status, milp::MilpStatus::kOptimal);
+
+  LazySolveConfig config;
+  config.time_limit_per_solve_seconds = 60.0;
+  config.total_time_limit_seconds = 240.0;
+  const LazySolveResult lazy = lazy_solve(t, plan::FormulationOptions{}, config);
+  ASSERT_TRUE(lazy.plan.feasible) << lazy.plan.detail;
+  EXPECT_NEAR(lazy.plan.cost, exact.objective, 1e-4 * exact.objective + 1e-6);
+  // Lazy generation should need only a fraction of the failures.
+  EXPECT_LE(lazy.scenarios_used, t.num_failures());
+  EXPECT_GE(lazy.rounds, 1);
+}
+
+TEST(LazySolve, SeedPlanGuaranteesIncumbentUnderTinyBudget) {
+  topo::Topology t = topo::make_preset('B');
+  const PlanResult greedy = solve_greedy(t);
+  ASSERT_TRUE(greedy.feasible);
+  LazySolveConfig config;
+  config.time_limit_per_solve_seconds = 0.5;  // far too little to solve
+  config.total_time_limit_seconds = 5.0;
+  config.relative_gap = 1e-2;
+  config.seed_added_units = greedy.added_units;
+  const LazySolveResult lazy = lazy_solve(t, plan::FormulationOptions{}, config);
+  // With the seed injected, even a starved run returns a feasible plan
+  // no worse than the seed.
+  if (lazy.plan.feasible) {
+    EXPECT_LE(lazy.plan.cost, greedy.cost + 1e-6);
+    PlanResult verified = verify_result(t, lazy.plan);
+    EXPECT_TRUE(verified.feasible);
+  }
+}
+
+TEST(LazySolve, RejectsBadSeedSize) {
+  topo::Topology t = topo::make_preset('A');
+  LazySolveConfig config;
+  config.seed_added_units = {1, 2, 3};
+  EXPECT_THROW(lazy_solve(t, plan::FormulationOptions{}, config),
+               std::invalid_argument);
+}
+
+TEST(LazySolve, HonorsTotalTimeLimit) {
+  topo::Topology t = topo::make_preset('C');
+  LazySolveConfig config;
+  config.total_time_limit_seconds = 0.0;
+  const LazySolveResult lazy = lazy_solve(t, plan::FormulationOptions{}, config);
+  EXPECT_FALSE(lazy.plan.feasible);
+  EXPECT_TRUE(lazy.plan.timed_out);
+}
+
+TEST(Paths, ShortestPathBasics) {
+  topo::Topology t = topo::make_preset('A');
+  const topo::Flow& flow = t.flow(0);
+  const std::vector<int> path = topo::shortest_ip_path(t, flow.src, flow.dst);
+  ASSERT_FALSE(path.empty());
+  // The path must be a connected IP walk from src to dst.
+  int at = flow.src;
+  for (int l : path) {
+    const topo::IpLink& link = t.link(l);
+    ASSERT_TRUE(link.site_a == at || link.site_b == at);
+    at = link.site_a == at ? link.site_b : link.site_a;
+  }
+  EXPECT_EQ(at, flow.dst);
+}
+
+TEST(Paths, RespectsUsableMask) {
+  topo::Topology t = topo::make_preset('A');
+  const topo::Flow& flow = t.flow(0);
+  std::vector<bool> usable(t.num_links(), true);
+  const std::vector<int> path = topo::shortest_ip_path(t, flow.src, flow.dst, usable);
+  ASSERT_FALSE(path.empty());
+  for (int l : path) usable[l] = false;  // knock out the whole path
+  const std::vector<int> alt = topo::shortest_ip_path(t, flow.src, flow.dst, usable);
+  for (int l : alt) EXPECT_TRUE(usable[l]);
+}
+
+TEST(Paths, DisconnectedReturnsEmpty) {
+  topo::Topology t = topo::make_preset('A');
+  std::vector<bool> none(t.num_links(), false);
+  EXPECT_TRUE(topo::shortest_ip_path(t, 0, 1, none).empty());
+}
+
+TEST(Paths, ValidatesArguments) {
+  topo::Topology t = topo::make_preset('A');
+  EXPECT_THROW(topo::shortest_ip_path(t, 0, 1, {true}), std::invalid_argument);
+  EXPECT_THROW(topo::shortest_ip_path(t, -1, 1), std::invalid_argument);
+  EXPECT_THROW(topo::shortest_ip_path(t, 0, 999), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace np::core

@@ -1,0 +1,368 @@
+// Plan evaluator (three modes) and planning-MILP formulation tests,
+// including cross-mode agreement properties and end-to-end solves on
+// the Figure 1 example and generator presets.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "milp/branch_and_bound.hpp"
+#include "plan/evaluator.hpp"
+#include "plan/formulation.hpp"
+#include "plan/scenario_lp.hpp"
+#include "topo/generator.hpp"
+#include "util/rng.hpp"
+
+namespace np::plan {
+namespace {
+
+/// Figure 1(a): A-B-C-D and A-E-F-D IP links, 100G flow A->D, failures
+/// cutting A-E and B-C.
+topo::Topology figure1() {
+  topo::Topology t;
+  t.set_name("figure1");
+  t.set_capacity_unit_gbps(100.0);
+  t.set_cost_model({0.01, 0.0});
+  for (const char* name : {"A", "B", "C", "D", "E", "F"}) t.add_site({name, 0, 0, 0});
+  auto fiber = [&](int a, int b, const char* name) {
+    topo::Fiber f;
+    f.site_a = a; f.site_b = b; f.length_km = 100.0; f.spectrum_ghz = 4800.0;
+    f.build_cost = 0.0; f.name = name;
+    return t.add_fiber(f);
+  };
+  const int ab = fiber(0, 1, "A-B"), bc = fiber(1, 2, "B-C"), cd = fiber(2, 3, "C-D");
+  const int ae = fiber(0, 4, "A-E"), ef = fiber(4, 5, "E-F"), fd = fiber(5, 3, "F-D");
+  auto link = [&](std::vector<int> path, const char* name) {
+    topo::IpLink l;
+    l.site_a = 0; l.site_b = 3;
+    l.fiber_path = std::move(path);
+    l.spectrum_per_unit_ghz = 37.5;
+    l.name = name;
+    return t.add_ip_link(std::move(l));
+  };
+  link({ab, bc, cd}, "link1");
+  link({ae, ef, fd}, "link2");
+  t.add_flow({0, 3, 100.0, topo::CoS::kGold});
+  t.add_failure({{ae}, {}, "cut-A-E"});
+  t.add_failure({{bc}, {}, "cut-B-C"});
+  return t;
+}
+
+TEST(ScenarioLp, HealthyScenarioFeasibleWithEnoughCapacity) {
+  topo::Topology t = figure1();
+  ScenarioLp lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(lp, t, {1, 0});
+  ScenarioCheck check = solve_scenario(lp, {}, false);
+  EXPECT_TRUE(check.feasible);
+  EXPECT_NEAR(check.unserved_gbps, 0.0, 1e-6);
+}
+
+TEST(ScenarioLp, ZeroCapacityLeavesAllDemandUnserved) {
+  topo::Topology t = figure1();
+  ScenarioLp lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(lp, t, {0, 0});
+  ScenarioCheck check = solve_scenario(lp, {}, false);
+  EXPECT_FALSE(check.feasible);
+  EXPECT_NEAR(check.unserved_gbps, 100.0, 1e-6);
+}
+
+TEST(ScenarioLp, FailureScenarioDropsDeadLink) {
+  topo::Topology t = figure1();
+  // Scenario 1 = cut A-E: link2 dead, link1 must carry everything.
+  ScenarioLp lp = build_scenario_lp(t, 1, true);
+  set_plan_capacities(lp, t, {0, 5});  // capacity only on the dead link
+  ScenarioCheck check = solve_scenario(lp, {}, false);
+  EXPECT_FALSE(check.feasible);
+  set_plan_capacities(lp, t, {1, 0});
+  check = solve_scenario(lp, {}, true);
+  EXPECT_TRUE(check.feasible);
+}
+
+TEST(ScenarioLp, WarmStartAfterCapacityIncreaseIsCheap) {
+  topo::Topology t = figure1();
+  ScenarioLp lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(lp, t, {0, 0});
+  (void)solve_scenario(lp, {}, false);
+  ASSERT_TRUE(lp.has_basis);
+  set_plan_capacities(lp, t, {1, 1});
+  ScenarioCheck warm = solve_scenario(lp, {}, true);
+  EXPECT_TRUE(warm.feasible);
+
+  ScenarioLp cold_lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(cold_lp, t, {1, 1});
+  ScenarioCheck cold = solve_scenario(cold_lp, {}, false);
+  EXPECT_TRUE(cold.feasible);
+  EXPECT_LE(warm.lp_iterations, cold.lp_iterations);
+}
+
+TEST(ScenarioLp, RejectsBadScenarioIndex) {
+  topo::Topology t = figure1();
+  EXPECT_THROW(build_scenario_lp(t, -1, true), std::invalid_argument);
+  EXPECT_THROW(build_scenario_lp(t, 3, true), std::invalid_argument);
+}
+
+TEST(Evaluator, Figure1Semantics) {
+  topo::Topology t = figure1();
+  for (EvaluatorMode mode : {EvaluatorMode::kVanilla,
+                             EvaluatorMode::kSourceAggregation,
+                             EvaluatorMode::kStateful}) {
+    PlanEvaluator eval(t, mode);
+    EXPECT_EQ(eval.num_scenarios(), 3);
+    // Both links at 1 unit (100G): feasible under both failures.
+    EXPECT_TRUE(eval.check({1, 1}).feasible) << to_string(mode);
+    eval.reset();
+    // Only link1: dies when B-C is cut (scenario index 2).
+    CheckResult r = eval.check({1, 0});
+    EXPECT_FALSE(r.feasible) << to_string(mode);
+    EXPECT_EQ(r.violated_scenario, 2) << to_string(mode);
+    eval.reset();
+    // Nothing: fails immediately at the healthy scenario.
+    r = eval.check({0, 0});
+    EXPECT_FALSE(r.feasible);
+    EXPECT_EQ(r.violated_scenario, kHealthyScenario);
+  }
+}
+
+TEST(Evaluator, StatefulSkipsSurvivedScenarios) {
+  topo::Topology t = figure1();
+  PlanEvaluator eval(t, EvaluatorMode::kStateful);
+  CheckResult first = eval.check({1, 0});
+  EXPECT_FALSE(first.feasible);
+  EXPECT_EQ(first.violated_scenario, 2);
+  EXPECT_EQ(first.scenarios_checked, 3);  // healthy, failure1 pass; failure2 fails
+  // Monotone increment: only the previously-violated scenario is rechecked.
+  CheckResult second = eval.check({1, 1});
+  EXPECT_TRUE(second.feasible);
+  EXPECT_EQ(second.scenarios_checked, 1);
+}
+
+TEST(Evaluator, ResetRestartsScenarioProgress) {
+  topo::Topology t = figure1();
+  PlanEvaluator eval(t, EvaluatorMode::kStateful);
+  EXPECT_TRUE(eval.check({1, 1}).feasible);
+  eval.reset();
+  CheckResult r = eval.check({0, 0});
+  EXPECT_EQ(r.violated_scenario, kHealthyScenario);
+}
+
+TEST(Evaluator, RejectsBadPlans) {
+  topo::Topology t = figure1();
+  PlanEvaluator eval(t);
+  EXPECT_THROW(eval.check({1}), std::invalid_argument);
+  EXPECT_THROW(eval.check({1, -2}), std::invalid_argument);
+}
+
+TEST(Evaluator, ModeToString) {
+  EXPECT_STREQ(to_string(EvaluatorMode::kVanilla), "vanilla");
+  EXPECT_STREQ(to_string(EvaluatorMode::kSourceAggregation), "source-aggregation");
+  EXPECT_STREQ(to_string(EvaluatorMode::kStateful), "stateful");
+}
+
+// Property: the three modes agree on feasibility verdicts for random
+// monotone plan sequences on generator presets.
+class ModeAgreement : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(ModeAgreement, VerdictsAgreeAcrossModes) {
+  topo::Topology t = topo::make_preset('A');
+  PlanEvaluator vanilla(t, EvaluatorMode::kVanilla);
+  PlanEvaluator sa(t, EvaluatorMode::kSourceAggregation);
+  PlanEvaluator stateful(t, EvaluatorMode::kStateful);
+  Rng rng(GetParam() * 31 + 5);
+  std::vector<int> units = t.initial_units();
+  for (int step = 0; step < 6; ++step) {
+    const CheckResult v = vanilla.check(units);
+    const CheckResult s = sa.check(units);
+    const CheckResult st = stateful.check(units);
+    EXPECT_EQ(v.feasible, s.feasible) << "step " << step;
+    EXPECT_EQ(s.feasible, st.feasible) << "step " << step;
+    if (!v.feasible) {
+      EXPECT_EQ(v.violated_scenario, s.violated_scenario);
+      EXPECT_EQ(s.violated_scenario, st.violated_scenario);
+    }
+    // Monotone growth keeps the stateful assumption valid.
+    const int link = static_cast<int>(rng.uniform_index(t.num_links()));
+    units[link] += 1 + static_cast<int>(rng.uniform_index(4));
+    units[link] = std::min(units[link], t.link_max_units(link));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ModeAgreement, ::testing::Range(0u, 6u));
+
+// Property: feasibility is monotone in capacity.
+TEST(Evaluator, FeasibilityIsMonotoneInCapacity) {
+  topo::Topology t = topo::make_preset('A');
+  PlanEvaluator eval(t, EvaluatorMode::kSourceAggregation);
+  std::vector<int> units(t.num_links(), 0);
+  bool was_feasible = false;
+  for (int step = 0; step < 40; ++step) {
+    const bool feasible = eval.check(units).feasible;
+    if (was_feasible) EXPECT_TRUE(feasible) << "monotonicity violated at " << step;
+    was_feasible = feasible;
+    for (int l = 0; l < t.num_links(); ++l) {
+      units[l] = std::min(units[l] + 2, t.link_max_units(l));
+    }
+  }
+  EXPECT_TRUE(was_feasible);  // saturating everything must be feasible
+}
+
+// ---- planning MILP ----
+
+TEST(Formulation, Figure1OptimalPlan) {
+  topo::Topology t = figure1();
+  PlanningMilp milp(t, {});
+  milp::MilpResult r = milp::solve(milp.model());
+  ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+  const std::vector<int> added = milp.extract_added_units(r.x);
+  // Figure 1(a): both 100G links are needed -> 1 unit each.
+  EXPECT_EQ(added, (std::vector<int>{1, 1}));
+  // Cost = 2 links * 1 unit * (100 Gbps * 0.01 * 300 km) = 600.
+  EXPECT_NEAR(r.objective, 600.0, 1e-6);
+  // The MILP plan must pass the evaluator.
+  PlanEvaluator eval(t);
+  std::vector<int> total = t.initial_units();
+  for (int l = 0; l < t.num_links(); ++l) total[l] += added[l];
+  EXPECT_TRUE(eval.check(total).feasible);
+}
+
+TEST(Formulation, PrunedBoundsRestrictSolution) {
+  topo::Topology t = figure1();
+  FormulationOptions options;
+  options.max_added_units = {1, 0};  // forbid capacity on link2
+  PlanningMilp milp(t, options);
+  // Without link2, the cut of B-C cannot be survived -> infeasible.
+  EXPECT_EQ(milp::solve(milp.model()).status, milp::MilpStatus::kInfeasible);
+}
+
+TEST(Formulation, FailureSubsetRelaxesProblem) {
+  topo::Topology t = figure1();
+  FormulationOptions options;
+  options.use_all_failures = false;
+  options.failure_subset = {0};  // only the A-E cut
+  PlanningMilp milp(t, options);
+  milp::MilpResult r = milp::solve(milp.model());
+  ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+  const std::vector<int> added = milp.extract_added_units(r.x);
+  // Only link1 is needed when B-C never fails.
+  EXPECT_EQ(added, (std::vector<int>{1, 0}));
+}
+
+TEST(Formulation, UnitMultiplierCoarsensPlan) {
+  topo::Topology t = figure1();
+  // Demand 150G: base unit needs 2 units (200G); multiplier 4 forces 4.
+  topo::Topology t2 = figure1();
+  (void)t2;
+  topo::Topology big = figure1();
+  // Rebuild with a bigger flow by adding a second flow A->D of 50G.
+  big.add_flow({0, 3, 50.0, topo::CoS::kGold});
+  FormulationOptions base;
+  PlanningMilp exact(big, base);
+  milp::MilpResult exact_r = milp::solve(exact.model());
+  ASSERT_EQ(exact_r.status, milp::MilpStatus::kOptimal);
+
+  FormulationOptions coarse;
+  coarse.unit_multiplier = 4;
+  PlanningMilp heur(big, coarse);
+  milp::MilpResult heur_r = milp::solve(heur.model());
+  ASSERT_EQ(heur_r.status, milp::MilpStatus::kOptimal);
+  // Coarser units can only cost more (or equal).
+  EXPECT_GE(heur_r.objective + 1e-9, exact_r.objective);
+  // And the extracted plan is in multiples of 4 units.
+  for (int units : heur.extract_added_units(heur_r.x)) {
+    EXPECT_EQ(units % 4, 0);
+  }
+}
+
+TEST(Formulation, MinAddedUnitsEnforced) {
+  topo::Topology t = figure1();
+  FormulationOptions options;
+  options.min_added_units = {2, 1};  // force over-provisioning
+  PlanningMilp milp(t, options);
+  milp::MilpResult r = milp::solve(milp.model());
+  ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+  const std::vector<int> added = milp.extract_added_units(r.x);
+  EXPECT_GE(added[0], 2);
+  EXPECT_GE(added[1], 1);
+}
+
+TEST(Formulation, CostCutoffExcludesExpensivePlans) {
+  topo::Topology t = figure1();
+  // The optimum costs 600; a cutoff below that makes the MILP infeasible.
+  FormulationOptions options;
+  options.max_total_cost = 500.0;
+  PlanningMilp milp(t, options);
+  EXPECT_EQ(milp::solve(milp.model()).status, milp::MilpStatus::kInfeasible);
+  // A cutoff at the optimum keeps it reachable.
+  options.max_total_cost = 600.0 + 1e-6;
+  PlanningMilp ok(t, options);
+  milp::MilpResult r = milp::solve(ok.model());
+  ASSERT_EQ(r.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(r.objective, 600.0, 1e-6);
+}
+
+TEST(Formulation, MinAddedUnitsSizeValidated) {
+  topo::Topology t = figure1();
+  FormulationOptions options;
+  options.min_added_units = {1};
+  EXPECT_THROW(PlanningMilp(t, options), std::invalid_argument);
+}
+
+TEST(Evaluator, StatefulSurvivesResetWithLowerCapacities) {
+  // After reset() the next check may carry SMALLER capacities (a new
+  // trajectory); the cached models + dual repair must still be correct.
+  topo::Topology t = figure1();
+  PlanEvaluator eval(t, EvaluatorMode::kStateful);
+  EXPECT_TRUE(eval.check({3, 3}).feasible);
+  eval.reset();
+  CheckResult r = eval.check({0, 0});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.violated_scenario, kHealthyScenario);
+  EXPECT_TRUE(eval.check({1, 1}).feasible);
+}
+
+TEST(Formulation, OptionValidation) {
+  topo::Topology t = figure1();
+  FormulationOptions options;
+  options.unit_multiplier = 0;
+  EXPECT_THROW(PlanningMilp(t, options), std::invalid_argument);
+  options = {};
+  options.max_added_units = {1};
+  EXPECT_THROW(PlanningMilp(t, options), std::invalid_argument);
+  options = {};
+  options.failure_subset = {99};
+  EXPECT_THROW(PlanningMilp(t, options), std::invalid_argument);
+}
+
+TEST(Formulation, PresetAIsSolvableAndEvaluatorConsistent) {
+  topo::Topology t = topo::make_preset('A');
+  PlanningMilp milp(t, {});
+  milp::MilpOptions options;
+  options.time_limit_seconds = 60.0;
+  milp::MilpResult r = milp::solve(milp.model(), options);
+  ASSERT_TRUE(r.has_incumbent);
+  const std::vector<int> added = milp.extract_added_units(r.x);
+  std::vector<int> total = t.initial_units();
+  for (int l = 0; l < t.num_links(); ++l) total[l] += added[l];
+  PlanEvaluator eval(t);
+  EXPECT_TRUE(eval.check(total).feasible);
+  // Objective matches the topology cost model on the added units.
+  EXPECT_NEAR(r.objective, t.plan_cost(added), 1e-6);
+}
+
+TEST(Formulation, SourceAggregationPreservesOptimum) {
+  topo::Topology t = figure1();
+  t.add_flow({0, 3, 40.0, topo::CoS::kGold});  // same source as flow 0
+  FormulationOptions agg;
+  agg.aggregate_sources = true;
+  FormulationOptions per_flow;
+  per_flow.aggregate_sources = false;
+  milp::MilpResult a = milp::solve(PlanningMilp(t, agg).model());
+  milp::MilpResult b = milp::solve(PlanningMilp(t, per_flow).model());
+  ASSERT_EQ(a.status, milp::MilpStatus::kOptimal);
+  ASSERT_EQ(b.status, milp::MilpStatus::kOptimal);
+  EXPECT_NEAR(a.objective, b.objective, 1e-6);
+  // Aggregation strictly shrinks the model.
+  EXPECT_LT(PlanningMilp(t, agg).model().num_variables(),
+            PlanningMilp(t, per_flow).model().num_variables());
+}
+
+}  // namespace
+}  // namespace np::plan

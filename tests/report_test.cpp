@@ -1,0 +1,69 @@
+// Plan report (interpretability, §4.3) tests.
+#include <gtest/gtest.h>
+
+#include "core/baselines.hpp"
+#include "plan/report.hpp"
+#include "topo/generator.hpp"
+
+namespace np::plan {
+namespace {
+
+TEST(Report, FeasiblePlanAnalyzed) {
+  topo::Topology t = topo::make_preset('A');
+  const core::PlanResult greedy = core::solve_greedy(t);
+  ASSERT_TRUE(greedy.feasible);
+  const PlanReport report = analyze_plan(t, greedy.added_units);
+  EXPECT_TRUE(report.feasible);
+  EXPECT_NEAR(report.total_cost, greedy.cost, 1e-9);
+  int changed = 0;
+  for (int u : greedy.added_units) changed += u > 0 ? 1 : 0;
+  EXPECT_EQ(report.links_changed, changed);
+  EXPECT_EQ(report.rows.size(), static_cast<std::size_t>(changed));
+  // Scenario notes: one per scenario, all ok.
+  EXPECT_EQ(report.scenario_notes.size(),
+            static_cast<std::size_t>(t.num_failures() + 1));
+  for (const std::string& note : report.scenario_notes) {
+    EXPECT_NE(note.find(": ok"), std::string::npos) << note;
+  }
+  // Rows sorted by added cost descending.
+  for (std::size_t i = 1; i < report.rows.size(); ++i) {
+    EXPECT_GE(report.rows[i - 1].added_cost, report.rows[i].added_cost);
+  }
+  // Utilization is a fraction.
+  for (const LinkReportRow& row : report.rows) {
+    if (row.worst_utilization >= 0.0) {
+      EXPECT_LE(row.worst_utilization, 1.0 + 1e-6);
+    }
+  }
+}
+
+TEST(Report, InfeasiblePlanFlagged) {
+  topo::Topology t = topo::make_preset('A');
+  const std::vector<int> nothing(t.num_links(), 0);
+  const PlanReport report = analyze_plan(t, nothing);
+  EXPECT_FALSE(report.feasible);
+  bool any_infeasible_note = false;
+  for (const std::string& note : report.scenario_notes) {
+    any_infeasible_note =
+        any_infeasible_note || note.find("INFEASIBLE") != std::string::npos;
+  }
+  EXPECT_TRUE(any_infeasible_note);
+}
+
+TEST(Report, TextRenderingContainsKeyFields) {
+  topo::Topology t = topo::make_preset('A');
+  const core::PlanResult greedy = core::solve_greedy(t);
+  const PlanReport report = analyze_plan(t, greedy.added_units);
+  const std::string text = to_text(t, report);
+  EXPECT_NE(text.find("FEASIBLE"), std::string::npos);
+  EXPECT_NE(text.find("worst util"), std::string::npos);
+  EXPECT_NE(text.find("healthy: ok"), std::string::npos);
+}
+
+TEST(Report, RejectsWrongPlanSize) {
+  topo::Topology t = topo::make_preset('A');
+  EXPECT_THROW(analyze_plan(t, {1, 2}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace np::plan

@@ -1,0 +1,360 @@
+// RL environment semantics, GAE math, and a learning smoke test: the
+// A2C agent must find feasible plans on a small topology and improve
+// on random behavior.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <sstream>
+
+#include "rl/env.hpp"
+#include "rl/gae.hpp"
+#include "rl/history.hpp"
+#include "rl/trainer.hpp"
+#include "topo/generator.hpp"
+
+namespace np::rl {
+namespace {
+
+topo::Topology small_topology() { return topo::make_preset('A'); }
+
+EnvConfig small_env_config() {
+  EnvConfig c;
+  c.max_units_per_step = 4;
+  c.max_trajectory_steps = 200;
+  return c;
+}
+
+// ---- GAE ----
+
+TEST(Gae, SingleStepTerminal) {
+  GaeConfig config{.gamma = 0.9, .gae_lambda = 0.8};
+  GaeResult r = compute_gae({2.0}, {0.5}, {true}, /*last_value=*/99.0, config);
+  // Terminal: next value is 0; delta = 2.0 - 0.5.
+  EXPECT_NEAR(r.advantages[0], 1.5, 1e-12);
+  EXPECT_NEAR(r.rewards_to_go[0], 2.0, 1e-12);
+}
+
+TEST(Gae, TwoStepHandComputed) {
+  GaeConfig config{.gamma = 0.5, .gae_lambda = 0.5};
+  // Steps: r0=1 v0=2, r1=3 v1=4 (terminal).
+  GaeResult r = compute_gae({1.0, 3.0}, {2.0, 4.0}, {false, true}, 0.0, config);
+  const double a1 = 3.0 - 4.0;                       // delta1, terminal
+  const double d0 = 1.0 + 0.5 * 4.0 - 2.0;           // r0 + gamma*v1 - v0
+  const double a0 = d0 + 0.5 * 0.5 * a1;
+  EXPECT_NEAR(r.advantages[1], a1, 1e-12);
+  EXPECT_NEAR(r.advantages[0], a0, 1e-12);
+  EXPECT_NEAR(r.rewards_to_go[1], 3.0, 1e-12);
+  EXPECT_NEAR(r.rewards_to_go[0], 1.0 + 0.5 * 3.0, 1e-12);
+}
+
+TEST(Gae, BootstrapOnCutTrajectory) {
+  GaeConfig config{.gamma = 1.0, .gae_lambda = 1.0};
+  GaeResult r = compute_gae({1.0}, {0.0}, {false}, /*last_value=*/10.0, config);
+  EXPECT_NEAR(r.advantages[0], 11.0, 1e-12);       // r + v_next - v
+  EXPECT_NEAR(r.rewards_to_go[0], 11.0, 1e-12);    // bootstrapped return
+}
+
+TEST(Gae, TerminalResetsAcrossTrajectoryBoundary) {
+  GaeConfig config{.gamma = 1.0, .gae_lambda = 1.0};
+  // Two one-step trajectories in one buffer.
+  GaeResult r = compute_gae({5.0, 7.0}, {1.0, 2.0}, {true, true}, 0.0, config);
+  EXPECT_NEAR(r.advantages[0], 4.0, 1e-12);  // no leakage from step 1
+  EXPECT_NEAR(r.rewards_to_go[0], 5.0, 1e-12);
+  EXPECT_NEAR(r.advantages[1], 5.0, 1e-12);
+  EXPECT_NEAR(r.rewards_to_go[1], 7.0, 1e-12);
+}
+
+TEST(Gae, SizeMismatchThrows) {
+  EXPECT_THROW(compute_gae({1.0}, {1.0, 2.0}, {true}, 0.0, {}),
+               std::invalid_argument);
+}
+
+TEST(Gae, NormalizeAdvantages) {
+  std::vector<double> a = {1.0, 2.0, 3.0, 4.0};
+  normalize_advantages(a);
+  double mean = 0.0, var = 0.0;
+  for (double x : a) mean += x;
+  mean /= 4.0;
+  for (double x : a) var += (x - mean) * (x - mean);
+  EXPECT_NEAR(mean, 0.0, 1e-12);
+  EXPECT_NEAR(var / 4.0, 1.0, 1e-12);
+  // Degenerate cases are no-ops.
+  std::vector<double> single = {5.0};
+  normalize_advantages(single);
+  EXPECT_DOUBLE_EQ(single[0], 5.0);
+  std::vector<double> constant = {2.0, 2.0};
+  normalize_advantages(constant);
+  EXPECT_DOUBLE_EQ(constant[0], 2.0);
+}
+
+// ---- environment ----
+
+TEST(Env, ResetRestoresInitialState) {
+  topo::Topology t = small_topology();
+  PlanningEnv env(t, small_env_config());
+  EXPECT_EQ(env.total_units(), t.initial_units());
+  EXPECT_EQ(env.steps_taken(), 0);
+  EXPECT_FALSE(env.done());
+  (void)env.step(0 * 4 + 1);  // add 2 units to link 0
+  EXPECT_EQ(env.steps_taken(), 1);
+  env.reset();
+  EXPECT_EQ(env.total_units(), t.initial_units());
+  EXPECT_EQ(env.steps_taken(), 0);
+}
+
+TEST(Env, StepAppliesUnitsAndRewardsCost) {
+  topo::Topology t = small_topology();
+  PlanningEnv env(t, small_env_config());
+  const StepResult r = env.step(env.num_actions() >= 3 ? 2 : 0);  // link 0, 3 units
+  const int added = env.total_units()[0] - t.initial_units()[0];
+  EXPECT_EQ(added, 3);
+  EXPECT_NEAR(r.reward, -(3 * t.link_unit_cost(0)) / env.reward_scale(), 1e-12);
+  EXPECT_GE(r.reward, -1.0);
+  EXPECT_LT(r.reward, 0.0);
+}
+
+TEST(Env, MaskMatchesSpectrumHeadroom) {
+  topo::Topology t = small_topology();
+  EnvConfig config = small_env_config();
+  PlanningEnv env(t, config);
+  const auto mask = env.action_mask();
+  ASSERT_EQ(mask.size(), static_cast<std::size_t>(env.num_actions()));
+  for (int l = 0; l < t.num_links(); ++l) {
+    const int headroom = t.spectrum_headroom_units(l, env.total_units());
+    for (int k = 1; k <= config.max_units_per_step; ++k) {
+      EXPECT_EQ(mask[l * config.max_units_per_step + (k - 1)] != 0, k <= headroom)
+          << "link " << l << " k " << k;
+    }
+  }
+}
+
+TEST(Env, MaskedActionThrows) {
+  // Saturate link 0, then adding to it must be rejected.
+  topo::Topology t = small_topology();
+  EnvConfig config = small_env_config();
+  config.max_trajectory_steps = 100000;
+  PlanningEnv env(t, config);
+  std::vector<int> units = env.total_units();
+  while (t.spectrum_headroom_units(0, env.total_units()) >= config.max_units_per_step &&
+         !env.done()) {
+    (void)env.step(0 * config.max_units_per_step + config.max_units_per_step - 1);
+  }
+  if (!env.done() && t.spectrum_headroom_units(0, env.total_units()) == 0) {
+    EXPECT_THROW(env.step(0), std::invalid_argument);
+  }
+}
+
+TEST(Env, InvalidActionsThrow) {
+  topo::Topology t = small_topology();
+  PlanningEnv env(t, small_env_config());
+  EXPECT_THROW(env.step(-1), std::invalid_argument);
+  EXPECT_THROW(env.step(env.num_actions()), std::invalid_argument);
+}
+
+TEST(Env, TimeoutTruncatesWithPenalty) {
+  topo::Topology t = small_topology();
+  EnvConfig config = small_env_config();
+  config.max_trajectory_steps = 1;
+  PlanningEnv env(t, config);
+  const StepResult r = env.step(0);
+  if (!r.feasible) {
+    EXPECT_TRUE(r.done);
+    EXPECT_TRUE(r.truncated);
+    EXPECT_LE(r.reward, -1.0);  // step cost plus -1 penalty
+    EXPECT_THROW(env.step(0), std::logic_error);
+  }
+}
+
+TEST(Env, SaturatingEverythingReachesFeasibility) {
+  topo::Topology t = small_topology();
+  EnvConfig config = small_env_config();
+  config.max_trajectory_steps = 100000;
+  PlanningEnv env(t, config);
+  bool feasible = false;
+  // Round-robin adding to every link must eventually satisfy the demand
+  // (the generator guarantees plannability).
+  for (int round = 0; round < 100000 && !feasible && !env.done(); ++round) {
+    const auto mask = env.action_mask();
+    bool acted = false;
+    for (int l = 0; l < t.num_links() && !feasible; ++l) {
+      const int a = l * config.max_units_per_step;  // +1 unit
+      if (!mask[a]) continue;
+      const StepResult r = env.step(a);
+      acted = true;
+      feasible = r.feasible;
+      if (r.done) break;
+    }
+    if (!acted) break;
+  }
+  EXPECT_TRUE(feasible);
+  EXPECT_GT(env.added_cost(), 0.0);
+}
+
+TEST(Env, FeaturesTrackCapacity) {
+  topo::Topology t = small_topology();
+  PlanningEnv env(t, small_env_config());
+  const la::Matrix before = env.features();
+  (void)env.step(3);  // link 0, 4 units
+  const la::Matrix after = env.features();
+  EXPECT_GT(la::max_abs_diff(before, after), 0.0);
+}
+
+TEST(Env, AddedCostMatchesTopologyPlanCost) {
+  topo::Topology t = small_topology();
+  PlanningEnv env(t, small_env_config());
+  (void)env.step(1);  // link 0, 2 units
+  if (!env.done()) (void)env.step(1 * 4 + 0);  // link 1, 1 unit
+  EXPECT_NEAR(env.added_cost(), t.plan_cost(env.added_units()), 1e-9);
+}
+
+// ---- trainer smoke tests ----
+
+TrainConfig smoke_config() {
+  TrainConfig c;
+  c.env = small_env_config();
+  c.network.gcn_layers = 2;
+  c.network.gcn_hidden = 16;
+  c.network.mlp_hidden = {32, 32};
+  c.epochs = 6;
+  c.steps_per_epoch = 192;
+  c.chunk_steps = 48;
+  c.seed = 3;
+  return c;
+}
+
+TEST(Trainer, FindsFeasiblePlansAndImproves) {
+  topo::Topology t = small_topology();
+  A2cTrainer trainer(t, smoke_config());
+  const std::vector<EpochStats> history = trainer.train();
+  ASSERT_EQ(history.size(), 6u);
+  EXPECT_TRUE(trainer.has_feasible_plan());
+  // The best plan must actually be feasible per an independent evaluator.
+  plan::PlanEvaluator eval(t, plan::EvaluatorMode::kSourceAggregation);
+  std::vector<int> total = t.initial_units();
+  const std::vector<int>& added = trainer.best_added_units();
+  ASSERT_EQ(added.size(), static_cast<std::size_t>(t.num_links()));
+  for (int l = 0; l < t.num_links(); ++l) total[l] += added[l];
+  EXPECT_TRUE(eval.check(total).feasible);
+  EXPECT_NEAR(trainer.best_cost(), t.plan_cost(added), 1e-9);
+  // Training statistics are populated.
+  for (const EpochStats& s : history) {
+    EXPECT_GT(s.steps, 0);
+    EXPECT_GT(s.trajectories, 0);
+    EXPECT_GE(s.seconds, 0.0);
+  }
+}
+
+TEST(Trainer, DeterministicForSeed) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.epochs = 2;
+  A2cTrainer a(t, c), b(t, c);
+  const auto ha = a.train();
+  const auto hb = b.train();
+  ASSERT_EQ(ha.size(), hb.size());
+  for (std::size_t i = 0; i < ha.size(); ++i) {
+    EXPECT_DOUBLE_EQ(ha[i].mean_return, hb[i].mean_return);
+    EXPECT_EQ(ha[i].trajectories, hb[i].trajectories);
+  }
+  EXPECT_DOUBLE_EQ(a.best_cost(), b.best_cost());
+}
+
+TEST(Trainer, PatienceStopsEarly) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.epochs = 50;
+  c.patience = 2;
+  A2cTrainer trainer(t, c);
+  const auto history = trainer.train();
+  EXPECT_LT(history.size(), 50u);  // must stop well before 50 epochs
+}
+
+TEST(Trainer, RejectsBadConfig) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.steps_per_epoch = 0;
+  EXPECT_THROW(A2cTrainer(t, c), std::invalid_argument);
+}
+
+TEST(Trainer, PpoClippedUpdatesRun) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.epochs = 3;
+  c.ppo_clip = 0.2;
+  c.update_iterations = 4;
+  A2cTrainer trainer(t, c);
+  const auto history = trainer.train();
+  EXPECT_EQ(history.size(), 3u);
+  EXPECT_TRUE(trainer.has_feasible_plan());
+}
+
+TEST(Trainer, GreedyRolloutProducesVerifiedPlan) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.epochs = 3;
+  A2cTrainer trainer(t, c);
+  trainer.train();
+  const bool feasible = trainer.greedy_rollout();
+  if (feasible) {
+    plan::PlanEvaluator eval(t, plan::EvaluatorMode::kSourceAggregation);
+    std::vector<int> total = t.initial_units();
+    for (int l = 0; l < t.num_links(); ++l) total[l] += trainer.best_added_units()[l];
+    EXPECT_TRUE(eval.check(total).feasible);
+  }
+}
+
+TEST(History, CsvExportRoundTrips) {
+  std::vector<EpochStats> history(2);
+  history[0].epoch = 1;
+  history[0].steps = 100;
+  history[0].trajectories = 4;
+  history[0].feasible_trajectories = 3;
+  history[0].mean_return = -2.5;
+  history[0].best_cost_so_far = 1e300;  // none yet
+  history[1].epoch = 2;
+  history[1].steps = 100;
+  history[1].trajectories = 5;
+  history[1].feasible_trajectories = 5;
+  history[1].mean_return = -1.25;
+  history[1].best_cost_so_far = 123.5;
+  std::ostringstream os;
+  write_history_csv(history, os);
+  const std::string csv = os.str();
+  EXPECT_NE(csv.find("epoch,steps,trajectories"), std::string::npos);
+  EXPECT_NE(csv.find("1,100,4,3,-2.5,\n"), std::string::npos);  // empty best
+  EXPECT_NE(csv.find("2,100,5,5,-1.25,123.5"), std::string::npos);
+  EXPECT_THROW(write_history_csv_file(history, "/nonexistent/dir/x.csv"),
+               std::runtime_error);
+}
+
+TEST(Trainer, EvaluatePolicyReportsStatistics) {
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.epochs = 2;
+  A2cTrainer trainer(t, c);
+  trainer.train();
+  const A2cTrainer::PolicyEvaluation eval = trainer.evaluate_policy(4);
+  EXPECT_EQ(eval.rollouts, 4);
+  EXPECT_GE(eval.feasible, 0);
+  EXPECT_LE(eval.feasible, 4);
+  if (eval.feasible > 0) {
+    EXPECT_GT(eval.best_cost, 0.0);
+    EXPECT_GE(eval.mean_cost, eval.best_cost);
+    // Best plan tracker can only have improved.
+    EXPECT_LE(trainer.best_cost(), eval.best_cost + 1e-9);
+  }
+  EXPECT_THROW(trainer.evaluate_policy(0), std::invalid_argument);
+}
+
+TEST(Trainer, WorksWithoutGnn) {
+  // Figure 10's 0-layer ablation must run end to end.
+  topo::Topology t = small_topology();
+  TrainConfig c = smoke_config();
+  c.network.gcn_layers = 0;
+  c.epochs = 2;
+  A2cTrainer trainer(t, c);
+  EXPECT_NO_THROW(trainer.train());
+}
+
+}  // namespace
+}  // namespace np::rl

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <set>
+#include <vector>
+
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace np {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, ReseedRestartsStream) {
+  Rng a(7);
+  const auto first = a();
+  a.reseed(7);
+  EXPECT_EQ(a(), first);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.uniform(-3.0, 4.5);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 4.5);
+  }
+}
+
+TEST(Rng, UniformIndexCoversAllValues) {
+  Rng rng(11);
+  std::set<std::size_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_index(7));
+  EXPECT_EQ(seen.size(), 7u);
+  EXPECT_EQ(*seen.rbegin(), 6u);
+}
+
+TEST(Rng, UniformIntInclusiveRange) {
+  Rng rng(13);
+  std::set<long> seen;
+  for (int i = 0; i < 500; ++i) {
+    const long v = rng.uniform_int(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Rng, NormalHasRoughlyUnitMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const double x = rng.normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.03);
+  EXPECT_NEAR(var, 1.0, 0.05);
+}
+
+TEST(Rng, WeightedIndexRespectsWeights) {
+  Rng rng(19);
+  std::vector<double> weights = {0.0, 3.0, 1.0};
+  int counts[3] = {0, 0, 0};
+  for (int i = 0; i < 20000; ++i) ++counts[rng.weighted_index(weights)];
+  EXPECT_EQ(counts[0], 0);
+  EXPECT_NEAR(static_cast<double>(counts[1]) / counts[2], 3.0, 0.3);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(23);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  auto sorted = v;
+  rng.shuffle(v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, sorted);
+}
+
+TEST(Rng, SplitStreamsAreIndependent) {
+  Rng parent(29);
+  Rng child = parent.split();
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch w;
+  volatile double sink = 0.0;
+  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  EXPECT_GE(w.seconds(), 0.0);
+  const double earlier = w.seconds();
+  const double later = w.seconds();
+  EXPECT_LE(earlier, later);  // monotone across calls
+  w.restart();
+  EXPECT_LT(w.seconds(), 1.0);
+}
+
+TEST(Log, LevelGatesMessages) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kError);
+  EXPECT_EQ(log_level(), LogLevel::kError);
+  // Below-threshold calls are dropped (no observable output assertion
+  // possible on stderr here; the contract under test is the level gate
+  // plus crash-freedom of the formatting path).
+  log_debug("dropped ", 1, " and ", 2.5);
+  log_info("dropped");
+  log_warn("dropped");
+  set_log_level(LogLevel::kOff);
+  log_error("also dropped at kOff");
+  set_log_level(saved);
+}
+
+TEST(Log, FormatsMixedArguments) {
+  const LogLevel saved = log_level();
+  set_log_level(LogLevel::kDebug);
+  log_debug("x=", 42, " y=", 3.5, " s=", std::string("str"));
+  log_line(LogLevel::kDebug, "direct line");
+  set_log_level(saved);
+}
+
+TEST(Env, LongFallsBackWhenUnset) {
+  ::unsetenv("NP_TEST_LONG");
+  EXPECT_EQ(env_long("NP_TEST_LONG", 42), 42);
+}
+
+TEST(Env, LongParsesValue) {
+  ::setenv("NP_TEST_LONG", "123", 1);
+  EXPECT_EQ(env_long("NP_TEST_LONG", 42), 123);
+  ::unsetenv("NP_TEST_LONG");
+}
+
+TEST(Env, LongRejectsGarbage) {
+  ::setenv("NP_TEST_LONG", "12x", 1);
+  EXPECT_EQ(env_long("NP_TEST_LONG", 42), 42);
+  ::unsetenv("NP_TEST_LONG");
+}
+
+TEST(Env, DoubleParsesValue) {
+  ::setenv("NP_TEST_DBL", "1.5", 1);
+  EXPECT_DOUBLE_EQ(env_double("NP_TEST_DBL", 0.0), 1.5);
+  ::unsetenv("NP_TEST_DBL");
+}
+
+TEST(Env, StringFallsBackWhenEmpty) {
+  ::setenv("NP_TEST_STR", "", 1);
+  EXPECT_EQ(env_string("NP_TEST_STR", "dflt"), "dflt");
+  ::unsetenv("NP_TEST_STR");
+}
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"topo", "cost"});
+  t.add_row({"A", "1.000"});
+  t.add_row({"B", "0.890"});
+  const std::string s = t.to_string();
+  EXPECT_NE(s.find("topo"), std::string::npos);
+  EXPECT_NE(s.find("0.890"), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only-one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, FormatsCrossForInvalid) {
+  EXPECT_EQ(fmt_or_cross(1.234, true, 2), "1.23");
+  EXPECT_EQ(fmt_or_cross(1.234, false, 2), "x");
+}
+
+TEST(Table, FmtDoublePrecision) {
+  EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace np

@@ -1,0 +1,241 @@
+// neuroplan_cli — command-line front end for the library.
+//
+//   neuroplan_cli generate <A-E> <out.topo> [seed]     write a preset topology
+//   neuroplan_cli show <topo>                          summarize a topology
+//   neuroplan_cli evaluate <topo> <u0,u1,...>          check a plan (ADDED units)
+//   neuroplan_cli plan <topo> <planner> [out.plan]     run a planner:
+//       neuroplan | ilp | ilp-heur | greedy | decomposition
+//   neuroplan_cli train <topo> <agent.ckpt> [epochs]   train + checkpoint an agent
+//   neuroplan_cli report <topo> <plan-file>            operator report for a plan
+//
+// `plan ... neuroplan` honors NEUROPLAN_AGENT=<ckpt>: the agent loads
+// the checkpoint before (briefly) fine-tuning, so trained policies are
+// reusable across planning cycles.
+//
+// Plans are stored one integer per line (added units per link, in link
+// order). Exit code 0 = success / feasible, 1 = failure / infeasible,
+// 2 = usage error.
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "ad/checkpoint.hpp"
+#include "core/baselines.hpp"
+#include "core/decomposition.hpp"
+#include "core/neuroplan.hpp"
+#include "plan/evaluator.hpp"
+#include "plan/report.hpp"
+#include "topo/generator.hpp"
+#include "topo/serialize.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+
+namespace {
+
+using namespace np;
+
+int usage() {
+  std::fprintf(stderr,
+               "usage:\n"
+               "  neuroplan_cli generate <A-E> <out.topo> [seed]\n"
+               "  neuroplan_cli show <topo>\n"
+               "  neuroplan_cli evaluate <topo> <u0,u1,...>\n"
+               "  neuroplan_cli plan <topo> <neuroplan|ilp|ilp-heur|greedy|"
+               "decomposition> [out.plan]\n"
+               "  neuroplan_cli train <topo> <agent.ckpt> [epochs]\n"
+               "  neuroplan_cli report <topo> <plan-file>\n");
+  return 2;
+}
+
+std::vector<int> parse_plan_list(const std::string& csv) {
+  std::vector<int> units;
+  std::stringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) units.push_back(std::stoi(token));
+  return units;
+}
+
+std::vector<int> load_plan_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw std::runtime_error("cannot open plan file: " + path);
+  std::vector<int> units;
+  int value = 0;
+  while (in >> value) units.push_back(value);
+  return units;
+}
+
+void save_plan_file(const std::string& path, const std::vector<int>& units) {
+  std::ofstream out(path);
+  if (!out) throw std::runtime_error("cannot open plan file for writing: " + path);
+  for (int u : units) out << u << "\n";
+}
+
+int cmd_generate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const unsigned seed =
+      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1u;
+  const topo::Topology t = topo::make_preset(argv[2][0], seed);
+  topo::save_file(t, argv[3]);
+  std::printf("wrote %s: %d sites, %d fibers, %d links, %d flows, %d failures\n",
+              argv[3], t.num_sites(), t.num_fibers(), t.num_links(), t.num_flows(),
+              t.num_failures());
+  return 0;
+}
+
+int cmd_show(int argc, char** argv) {
+  if (argc < 3) return usage();
+  const topo::Topology t = topo::load_file(argv[2]);
+  t.validate();
+  double demand = 0.0;
+  for (int f = 0; f < t.num_flows(); ++f) demand += t.flow(f).demand_gbps;
+  long existing = 0;
+  for (int l = 0; l < t.num_links(); ++l) existing += t.link(l).initial_units;
+  std::printf("topology '%s'\n", t.name().c_str());
+  std::printf("  sites    %d\n  fibers   %d\n  IP links %d\n  flows    %d "
+              "(%.1f Tbps total)\n  failures %d\n  existing %ld units @ %.0f Gbps\n",
+              t.num_sites(), t.num_fibers(), t.num_links(), t.num_flows(),
+              demand / 1000.0, t.num_failures(), existing, t.capacity_unit_gbps());
+  return 0;
+}
+
+int cmd_evaluate(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Topology t = topo::load_file(argv[2]);
+  const std::vector<int> added = parse_plan_list(argv[3]);
+  if (added.size() != static_cast<std::size_t>(t.num_links())) {
+    std::fprintf(stderr, "plan has %zu entries, topology has %d links\n",
+                 added.size(), t.num_links());
+    return 2;
+  }
+  std::vector<int> total = t.initial_units();
+  for (int l = 0; l < t.num_links(); ++l) total[l] += added[l];
+  plan::PlanEvaluator evaluator(t);
+  const plan::CheckResult r = evaluator.check(total);
+  std::printf("feasible: %s  cost: %.1f\n", r.feasible ? "yes" : "no",
+              t.plan_cost(added));
+  if (!r.feasible) {
+    const std::string name = r.violated_scenario == plan::kHealthyScenario
+                                 ? "healthy network"
+                                 : t.failure(r.violated_scenario - 1).name;
+    std::printf("violated scenario: %s (%.1f Gbps unserved)\n", name.c_str(),
+                r.unserved_gbps);
+  }
+  return r.feasible ? 0 : 1;
+}
+
+int cmd_plan(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Topology t = topo::load_file(argv[2]);
+  const std::string planner = argv[3];
+  core::PlanResult result;
+  if (planner == "neuroplan") {
+    core::NeuroPlanConfig config;
+    config.train = core::default_train_config(
+        t, static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7)));
+    const long epochs = env_long("NEUROPLAN_EPOCHS", 0);
+    if (epochs > 0) config.train.epochs = static_cast<int>(epochs);
+    config.relax_factor = env_double("NEUROPLAN_ALPHA", 1.5);
+    const std::string agent_path = env_string("NEUROPLAN_AGENT", "");
+    if (agent_path.empty()) {
+      const core::NeuroPlanResult np_result = core::neuroplan(t, config);
+      std::printf("first stage: cost %.1f (%.1fs)\n", np_result.first_stage.cost,
+                  np_result.train_seconds);
+      result = np_result.final;
+    } else {
+      // Reuse a checkpointed agent: load, fine-tune briefly, plan.
+      rl::A2cTrainer trainer(t, config.train);
+      ad::load_parameters_file(trainer.network().all_parameters(), agent_path);
+      std::printf("loaded agent from %s\n", agent_path.c_str());
+      trainer.train();
+      trainer.greedy_rollout();
+      core::PlanResult first;
+      if (trainer.has_feasible_plan()) {
+        first.feasible = true;
+        first.added_units = trainer.best_added_units();
+        first.cost = trainer.best_cost();
+      } else {
+        first = core::solve_greedy(t);
+      }
+      if (!first.feasible) {
+        std::fprintf(stderr, "no first-stage plan\n");
+        return 1;
+      }
+      std::printf("first stage: cost %.1f\n", first.cost);
+      result = core::second_stage(t, first.added_units, config.relax_factor,
+                                  config.ilp_time_limit_seconds,
+                                  config.ilp_relative_gap);
+      if (!result.feasible) result = first;
+    }
+  } else if (planner == "ilp") {
+    core::IlpConfig config;
+    config.time_limit_seconds = env_double("NEUROPLAN_ILP_TIME", 300.0);
+    result = core::solve_ilp(t, config);
+  } else if (planner == "ilp-heur") {
+    result = core::solve_ilp_heur(t);
+  } else if (planner == "greedy") {
+    result = core::solve_greedy(t);
+  } else if (planner == "decomposition") {
+    result = core::solve_region_decomposition(t).plan;
+  } else {
+    return usage();
+  }
+  std::printf("%s: %s, cost %.1f, %.1fs [%s]\n", planner.c_str(),
+              result.feasible ? "feasible" : "NO PLAN", result.cost, result.seconds,
+              result.detail.c_str());
+  if (result.feasible && argc > 4) {
+    save_plan_file(argv[4], result.added_units);
+    std::printf("plan written to %s\n", argv[4]);
+  }
+  return result.feasible ? 0 : 1;
+}
+
+int cmd_train(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Topology t = topo::load_file(argv[2]);
+  rl::TrainConfig config = core::default_train_config(
+      t, static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7)));
+  if (argc > 4) config.epochs = std::atoi(argv[4]);
+  rl::A2cTrainer trainer(t, config);
+  const auto history = trainer.train();
+  trainer.greedy_rollout();
+  ad::save_parameters_file(trainer.network().all_parameters(), argv[3]);
+  std::printf("trained %zu epochs; best first-stage cost %s; agent -> %s\n",
+              history.size(),
+              trainer.has_feasible_plan()
+                  ? std::to_string(trainer.best_cost()).c_str()
+                  : "none",
+              argv[3]);
+  return trainer.has_feasible_plan() ? 0 : 1;
+}
+
+int cmd_report(int argc, char** argv) {
+  if (argc < 4) return usage();
+  const topo::Topology t = topo::load_file(argv[2]);
+  const std::vector<int> added = load_plan_file(argv[3]);
+  const plan::PlanReport report = plan::analyze_plan(t, added);
+  std::fputs(plan::to_text(t, report).c_str(), stdout);
+  return report.feasible ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  set_log_level(LogLevel::kWarn);
+  if (argc < 2) return usage();
+  try {
+    const std::string command = argv[1];
+    if (command == "generate") return cmd_generate(argc, argv);
+    if (command == "show") return cmd_show(argc, argv);
+    if (command == "evaluate") return cmd_evaluate(argc, argv);
+    if (command == "plan") return cmd_plan(argc, argv);
+    if (command == "train") return cmd_train(argc, argv);
+    if (command == "report") return cmd_report(argc, argv);
+    return usage();
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
