@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_gat_vs_gcn.dir/abl_gat_vs_gcn.cpp.o"
+  "CMakeFiles/abl_gat_vs_gcn.dir/abl_gat_vs_gcn.cpp.o.d"
+  "abl_gat_vs_gcn"
+  "abl_gat_vs_gcn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_gat_vs_gcn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

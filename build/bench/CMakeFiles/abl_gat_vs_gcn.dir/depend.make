@@ -1,0 +1,2 @@
+# Empty dependencies file for abl_gat_vs_gcn.
+# This may be replaced when dependencies are built.

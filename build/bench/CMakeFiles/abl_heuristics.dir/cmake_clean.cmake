@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_heuristics.dir/abl_heuristics.cpp.o"
+  "CMakeFiles/abl_heuristics.dir/abl_heuristics.cpp.o.d"
+  "abl_heuristics"
+  "abl_heuristics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_heuristics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/abl_seed_variance.dir/abl_seed_variance.cpp.o"
+  "CMakeFiles/abl_seed_variance.dir/abl_seed_variance.cpp.o.d"
+  "abl_seed_variance"
+  "abl_seed_variance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/abl_seed_variance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

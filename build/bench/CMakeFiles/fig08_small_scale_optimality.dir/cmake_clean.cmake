@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig08_small_scale_optimality.dir/fig08_small_scale_optimality.cpp.o"
+  "CMakeFiles/fig08_small_scale_optimality.dir/fig08_small_scale_optimality.cpp.o.d"
+  "fig08_small_scale_optimality"
+  "fig08_small_scale_optimality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig08_small_scale_optimality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

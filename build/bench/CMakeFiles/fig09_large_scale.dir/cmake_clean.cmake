@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig09_large_scale.dir/fig09_large_scale.cpp.o"
+  "CMakeFiles/fig09_large_scale.dir/fig09_large_scale.cpp.o.d"
+  "fig09_large_scale"
+  "fig09_large_scale.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig09_large_scale.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_gnn_layers.dir/fig10_gnn_layers.cpp.o"
+  "CMakeFiles/fig10_gnn_layers.dir/fig10_gnn_layers.cpp.o.d"
+  "fig10_gnn_layers"
+  "fig10_gnn_layers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_gnn_layers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig11_mlp_hidden.dir/fig11_mlp_hidden.cpp.o"
+  "CMakeFiles/fig11_mlp_hidden.dir/fig11_mlp_hidden.cpp.o.d"
+  "fig11_mlp_hidden"
+  "fig11_mlp_hidden.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig11_mlp_hidden.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

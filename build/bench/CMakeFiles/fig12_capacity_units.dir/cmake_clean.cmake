@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig12_capacity_units.dir/fig12_capacity_units.cpp.o"
+  "CMakeFiles/fig12_capacity_units.dir/fig12_capacity_units.cpp.o.d"
+  "fig12_capacity_units"
+  "fig12_capacity_units.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig12_capacity_units.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig13_relax_factor.dir/fig13_relax_factor.cpp.o"
+  "CMakeFiles/fig13_relax_factor.dir/fig13_relax_factor.cpp.o.d"
+  "fig13_relax_factor"
+  "fig13_relax_factor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig13_relax_factor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/agent_reuse.cpp" "examples/CMakeFiles/agent_reuse.dir/agent_reuse.cpp.o" "gcc" "examples/CMakeFiles/agent_reuse.dir/agent_reuse.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/np_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/rl/CMakeFiles/np_rl.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/np_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/ad/CMakeFiles/np_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/plan/CMakeFiles/np_plan.dir/DependInfo.cmake"
+  "/root/repo/build/src/milp/CMakeFiles/np_milp.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/np_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/np_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/agent_reuse.dir/agent_reuse.cpp.o"
+  "CMakeFiles/agent_reuse.dir/agent_reuse.cpp.o.d"
+  "agent_reuse"
+  "agent_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/agent_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

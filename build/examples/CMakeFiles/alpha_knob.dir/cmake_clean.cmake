@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/alpha_knob.dir/alpha_knob.cpp.o"
+  "CMakeFiles/alpha_knob.dir/alpha_knob.cpp.o.d"
+  "alpha_knob"
+  "alpha_knob.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/alpha_knob.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

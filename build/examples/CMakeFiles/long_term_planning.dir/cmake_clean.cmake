@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/long_term_planning.dir/long_term_planning.cpp.o"
+  "CMakeFiles/long_term_planning.dir/long_term_planning.cpp.o.d"
+  "long_term_planning"
+  "long_term_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/long_term_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/short_term_planning.dir/short_term_planning.cpp.o"
+  "CMakeFiles/short_term_planning.dir/short_term_planning.cpp.o.d"
+  "short_term_planning"
+  "short_term_planning.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/short_term_planning.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ad/adam.cpp" "src/ad/CMakeFiles/np_ad.dir/adam.cpp.o" "gcc" "src/ad/CMakeFiles/np_ad.dir/adam.cpp.o.d"
+  "/root/repo/src/ad/checkpoint.cpp" "src/ad/CMakeFiles/np_ad.dir/checkpoint.cpp.o" "gcc" "src/ad/CMakeFiles/np_ad.dir/checkpoint.cpp.o.d"
+  "/root/repo/src/ad/tape.cpp" "src/ad/CMakeFiles/np_ad.dir/tape.cpp.o" "gcc" "src/ad/CMakeFiles/np_ad.dir/tape.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/np_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_ad.dir/adam.cpp.o"
+  "CMakeFiles/np_ad.dir/adam.cpp.o.d"
+  "CMakeFiles/np_ad.dir/checkpoint.cpp.o"
+  "CMakeFiles/np_ad.dir/checkpoint.cpp.o.d"
+  "CMakeFiles/np_ad.dir/tape.cpp.o"
+  "CMakeFiles/np_ad.dir/tape.cpp.o.d"
+  "libnp_ad.a"
+  "libnp_ad.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_ad.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_core.dir/baselines.cpp.o"
+  "CMakeFiles/np_core.dir/baselines.cpp.o.d"
+  "CMakeFiles/np_core.dir/decomposition.cpp.o"
+  "CMakeFiles/np_core.dir/decomposition.cpp.o.d"
+  "CMakeFiles/np_core.dir/lazy_solve.cpp.o"
+  "CMakeFiles/np_core.dir/lazy_solve.cpp.o.d"
+  "CMakeFiles/np_core.dir/neuroplan.cpp.o"
+  "CMakeFiles/np_core.dir/neuroplan.cpp.o.d"
+  "CMakeFiles/np_core.dir/planner.cpp.o"
+  "CMakeFiles/np_core.dir/planner.cpp.o.d"
+  "libnp_core.a"
+  "libnp_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_la.dir/matrix.cpp.o"
+  "CMakeFiles/np_la.dir/matrix.cpp.o.d"
+  "CMakeFiles/np_la.dir/sparse.cpp.o"
+  "CMakeFiles/np_la.dir/sparse.cpp.o.d"
+  "libnp_la.a"
+  "libnp_la.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_la.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

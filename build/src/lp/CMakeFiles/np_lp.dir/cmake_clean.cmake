@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_lp.dir/model.cpp.o"
+  "CMakeFiles/np_lp.dir/model.cpp.o.d"
+  "CMakeFiles/np_lp.dir/simplex.cpp.o"
+  "CMakeFiles/np_lp.dir/simplex.cpp.o.d"
+  "libnp_lp.a"
+  "libnp_lp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_lp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

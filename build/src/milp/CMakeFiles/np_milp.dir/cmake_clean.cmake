@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_milp.dir/branch_and_bound.cpp.o"
+  "CMakeFiles/np_milp.dir/branch_and_bound.cpp.o.d"
+  "libnp_milp.a"
+  "libnp_milp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_milp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

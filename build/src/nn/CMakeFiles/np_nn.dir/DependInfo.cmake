@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/actor_critic.cpp" "src/nn/CMakeFiles/np_nn.dir/actor_critic.cpp.o" "gcc" "src/nn/CMakeFiles/np_nn.dir/actor_critic.cpp.o.d"
+  "/root/repo/src/nn/gat.cpp" "src/nn/CMakeFiles/np_nn.dir/gat.cpp.o" "gcc" "src/nn/CMakeFiles/np_nn.dir/gat.cpp.o.d"
+  "/root/repo/src/nn/gcn.cpp" "src/nn/CMakeFiles/np_nn.dir/gcn.cpp.o" "gcc" "src/nn/CMakeFiles/np_nn.dir/gcn.cpp.o.d"
+  "/root/repo/src/nn/linear.cpp" "src/nn/CMakeFiles/np_nn.dir/linear.cpp.o" "gcc" "src/nn/CMakeFiles/np_nn.dir/linear.cpp.o.d"
+  "/root/repo/src/nn/mlp.cpp" "src/nn/CMakeFiles/np_nn.dir/mlp.cpp.o" "gcc" "src/nn/CMakeFiles/np_nn.dir/mlp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ad/CMakeFiles/np_ad.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/np_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_nn.dir/actor_critic.cpp.o"
+  "CMakeFiles/np_nn.dir/actor_critic.cpp.o.d"
+  "CMakeFiles/np_nn.dir/gat.cpp.o"
+  "CMakeFiles/np_nn.dir/gat.cpp.o.d"
+  "CMakeFiles/np_nn.dir/gcn.cpp.o"
+  "CMakeFiles/np_nn.dir/gcn.cpp.o.d"
+  "CMakeFiles/np_nn.dir/linear.cpp.o"
+  "CMakeFiles/np_nn.dir/linear.cpp.o.d"
+  "CMakeFiles/np_nn.dir/mlp.cpp.o"
+  "CMakeFiles/np_nn.dir/mlp.cpp.o.d"
+  "libnp_nn.a"
+  "libnp_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

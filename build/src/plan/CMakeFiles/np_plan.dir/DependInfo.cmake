@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/plan/evaluator.cpp" "src/plan/CMakeFiles/np_plan.dir/evaluator.cpp.o" "gcc" "src/plan/CMakeFiles/np_plan.dir/evaluator.cpp.o.d"
+  "/root/repo/src/plan/formulation.cpp" "src/plan/CMakeFiles/np_plan.dir/formulation.cpp.o" "gcc" "src/plan/CMakeFiles/np_plan.dir/formulation.cpp.o.d"
+  "/root/repo/src/plan/parallel_evaluator.cpp" "src/plan/CMakeFiles/np_plan.dir/parallel_evaluator.cpp.o" "gcc" "src/plan/CMakeFiles/np_plan.dir/parallel_evaluator.cpp.o.d"
+  "/root/repo/src/plan/report.cpp" "src/plan/CMakeFiles/np_plan.dir/report.cpp.o" "gcc" "src/plan/CMakeFiles/np_plan.dir/report.cpp.o.d"
+  "/root/repo/src/plan/scenario_lp.cpp" "src/plan/CMakeFiles/np_plan.dir/scenario_lp.cpp.o" "gcc" "src/plan/CMakeFiles/np_plan.dir/scenario_lp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/topo/CMakeFiles/np_topo.dir/DependInfo.cmake"
+  "/root/repo/build/src/lp/CMakeFiles/np_lp.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/la/CMakeFiles/np_la.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

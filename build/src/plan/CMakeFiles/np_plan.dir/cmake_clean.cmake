@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_plan.dir/evaluator.cpp.o"
+  "CMakeFiles/np_plan.dir/evaluator.cpp.o.d"
+  "CMakeFiles/np_plan.dir/formulation.cpp.o"
+  "CMakeFiles/np_plan.dir/formulation.cpp.o.d"
+  "CMakeFiles/np_plan.dir/parallel_evaluator.cpp.o"
+  "CMakeFiles/np_plan.dir/parallel_evaluator.cpp.o.d"
+  "CMakeFiles/np_plan.dir/report.cpp.o"
+  "CMakeFiles/np_plan.dir/report.cpp.o.d"
+  "CMakeFiles/np_plan.dir/scenario_lp.cpp.o"
+  "CMakeFiles/np_plan.dir/scenario_lp.cpp.o.d"
+  "libnp_plan.a"
+  "libnp_plan.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_plan.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

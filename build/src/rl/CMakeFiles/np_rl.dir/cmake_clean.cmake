@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_rl.dir/env.cpp.o"
+  "CMakeFiles/np_rl.dir/env.cpp.o.d"
+  "CMakeFiles/np_rl.dir/gae.cpp.o"
+  "CMakeFiles/np_rl.dir/gae.cpp.o.d"
+  "CMakeFiles/np_rl.dir/history.cpp.o"
+  "CMakeFiles/np_rl.dir/history.cpp.o.d"
+  "CMakeFiles/np_rl.dir/trainer.cpp.o"
+  "CMakeFiles/np_rl.dir/trainer.cpp.o.d"
+  "libnp_rl.a"
+  "libnp_rl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_rl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/topo/generator.cpp" "src/topo/CMakeFiles/np_topo.dir/generator.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/generator.cpp.o.d"
+  "/root/repo/src/topo/paths.cpp" "src/topo/CMakeFiles/np_topo.dir/paths.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/paths.cpp.o.d"
+  "/root/repo/src/topo/serialize.cpp" "src/topo/CMakeFiles/np_topo.dir/serialize.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/serialize.cpp.o.d"
+  "/root/repo/src/topo/topology.cpp" "src/topo/CMakeFiles/np_topo.dir/topology.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/topology.cpp.o.d"
+  "/root/repo/src/topo/transform.cpp" "src/topo/CMakeFiles/np_topo.dir/transform.cpp.o" "gcc" "src/topo/CMakeFiles/np_topo.dir/transform.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/la/CMakeFiles/np_la.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/np_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_topo.dir/generator.cpp.o"
+  "CMakeFiles/np_topo.dir/generator.cpp.o.d"
+  "CMakeFiles/np_topo.dir/paths.cpp.o"
+  "CMakeFiles/np_topo.dir/paths.cpp.o.d"
+  "CMakeFiles/np_topo.dir/serialize.cpp.o"
+  "CMakeFiles/np_topo.dir/serialize.cpp.o.d"
+  "CMakeFiles/np_topo.dir/topology.cpp.o"
+  "CMakeFiles/np_topo.dir/topology.cpp.o.d"
+  "CMakeFiles/np_topo.dir/transform.cpp.o"
+  "CMakeFiles/np_topo.dir/transform.cpp.o.d"
+  "libnp_topo.a"
+  "libnp_topo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_topo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/np_util.dir/env.cpp.o"
+  "CMakeFiles/np_util.dir/env.cpp.o.d"
+  "CMakeFiles/np_util.dir/log.cpp.o"
+  "CMakeFiles/np_util.dir/log.cpp.o.d"
+  "CMakeFiles/np_util.dir/table.cpp.o"
+  "CMakeFiles/np_util.dir/table.cpp.o.d"
+  "libnp_util.a"
+  "libnp_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/np_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

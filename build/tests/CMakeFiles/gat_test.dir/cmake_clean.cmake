@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/gat_test.dir/gat_test.cpp.o"
+  "CMakeFiles/gat_test.dir/gat_test.cpp.o.d"
+  "gat_test"
+  "gat_test.pdb"
+  "gat_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/gat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/lazy_test.dir/lazy_test.cpp.o"
+  "CMakeFiles/lazy_test.dir/lazy_test.cpp.o.d"
+  "lazy_test"
+  "lazy_test.pdb"
+  "lazy_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/lazy_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

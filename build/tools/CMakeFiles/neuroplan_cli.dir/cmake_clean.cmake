@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/neuroplan_cli.dir/neuroplan_cli.cpp.o"
+  "CMakeFiles/neuroplan_cli.dir/neuroplan_cli.cpp.o.d"
+  "neuroplan_cli"
+  "neuroplan_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/neuroplan_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
