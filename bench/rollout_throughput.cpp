@@ -1,0 +1,114 @@
+// Rollout-throughput benchmark for the multi-worker subsystem
+// (rl::RolloutWorkers): env steps per second at 1, 2 and 4 workers,
+// written as JSON for scripts/bench_rollout.sh -> BENCH_rollout.json.
+//
+// The 1-worker row uses borrowed mode (the exact serial trainer path),
+// so speedups are measured against the true pre-threading baseline.
+// Interpreting the numbers needs `hardware_threads` from the JSON:
+// worker counts beyond the core count still gain from cross-worker
+// batched network forwards, but the env-stepping parallelism only
+// materializes on real cores.
+//
+// Knobs: NEUROPLAN_TOPOS (first letter, default B),
+//        NEUROPLAN_ROLLOUT_STEPS (steps per measured collect, default 768),
+//        NEUROPLAN_SEED (default 7).
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "nn/actor_critic.hpp"
+#include "rl/rollout.hpp"
+#include "topo/generator.hpp"
+#include "util/env.hpp"
+#include "util/stopwatch.hpp"
+#include "util/thread_pool.hpp"
+
+namespace {
+
+using namespace np;
+
+nn::NetworkConfig network_config(const rl::EnvConfig& env) {
+  nn::NetworkConfig c;
+  c.feature_dim = topo::feature_dimension(env.include_static_features);
+  c.gcn_layers = 2;
+  c.gcn_hidden = 32;
+  c.mlp_hidden = {64, 64};
+  c.max_units_per_step = env.max_units_per_step;
+  return c;
+}
+
+double steps_per_second(const topo::Topology& topology, const rl::EnvConfig& env,
+                        nn::ActorCritic& net, int workers, unsigned seed,
+                        int steps) {
+  // Fresh PlanningEnv per measurement so LP caches start cold for every
+  // worker count; one warmup collect builds them before timing.
+  if (workers == 1) {
+    rl::PlanningEnv serial_env(topology, env);
+    Rng rng(seed);
+    rl::RolloutWorkers rollout(serial_env, rng, net);
+    rollout.collect(steps);  // warmup
+    Stopwatch watch;
+    const auto result = rollout.collect(steps);
+    return result.front().records.size() / watch.seconds();
+  }
+  rl::RolloutWorkers rollout(topology, env, net, workers, seed);
+  rollout.collect(steps);  // warmup
+  Stopwatch watch;
+  const auto result = rollout.collect(steps);
+  std::size_t collected = 0;
+  for (const auto& r : result) collected += r.records.size();
+  return collected / watch.seconds();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string topos = env_string("NEUROPLAN_TOPOS", "B");
+  const char preset = topos.empty() ? 'B' : topos[0];
+  const unsigned seed = static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7));
+  const int steps = static_cast<int>(env_long("NEUROPLAN_ROLLOUT_STEPS", 768));
+
+  const topo::Topology topology = topo::make_preset(preset);
+  rl::EnvConfig env;
+  env.max_trajectory_steps = 256;
+  Rng net_rng(seed);
+  nn::ActorCritic net(network_config(env), net_rng);
+
+  const std::vector<int> worker_counts = {1, 2, 4};
+  std::vector<double> rates;
+  for (int k : worker_counts) {
+    rates.push_back(steps_per_second(topology, env, net, k, seed, steps));
+    std::printf("workers %d: %.1f steps/s\n", k, rates.back());
+  }
+  const double speedup = rates.back() / rates.front();
+  std::printf("speedup 4 vs 1: %.2fx (on %d hardware threads)\n", speedup,
+              util::ThreadPool::hardware_threads());
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_rollout.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out,
+               "{\n"
+               "  \"benchmark\": \"rollout_throughput\",\n"
+               "  \"topology\": \"%c\",\n"
+               "  \"steps_per_collect\": %d,\n"
+               "  \"hardware_threads\": %d,\n"
+               "  \"workers\": [\n",
+               preset, steps, util::ThreadPool::hardware_threads());
+  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+    std::fprintf(out, "    {\"workers\": %d, \"steps_per_sec\": %.2f}%s\n",
+                 worker_counts[i], rates[i],
+                 i + 1 < worker_counts.size() ? "," : "");
+  }
+  std::fprintf(out,
+               "  ],\n"
+               "  \"speedup_4v1\": %.3f\n"
+               "}\n",
+               speedup);
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Build and run the rollout-throughput bench, writing BENCH_rollout.json
+# at the repo root (steps/sec at 1, 2 and 4 rollout workers).
+#
+#   scripts/bench_rollout.sh [build-dir]
+#
+# Scale knobs:
+#   NEUROPLAN_TOPOS=B            preset topology (first letter is used)
+#   NEUROPLAN_ROLLOUT_STEPS=768  env steps per measured collect
+#   NEUROPLAN_SEED=7             RNG seed
+set -euo pipefail
+
+build_dir="${1:-build}"
+root="$(cd "$(dirname "$0")/.." && pwd)"
+
+cmake --build "$root/$build_dir" --target rollout_throughput
+"$root/$build_dir/bench/rollout_throughput" "$root/BENCH_rollout.json"
+echo "wrote $root/BENCH_rollout.json"

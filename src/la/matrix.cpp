@@ -100,14 +100,39 @@ Matrix Matrix::matmul(const Matrix& other) const {
                                 shape_string() + " vs " + other.shape_string());
   }
   Matrix out(rows_, other.cols_, 0.0);
-  // ikj order keeps the inner loop contiguous in both `other` and `out`.
-  for (std::size_t i = 0; i < rows_; ++i) {
-    for (std::size_t k = 0; k < cols_; ++k) {
-      const double aik = (*this)(i, k);
-      if (aik == 0.0) continue;
-      const double* brow = other.data() + k * other.cols_;
-      double* orow = out.data() + i * other.cols_;
-      for (std::size_t j = 0; j < other.cols_; ++j) orow[j] += aik * brow[j];
+  // ikj order keeps the inner loop contiguous in both `other` and `out`;
+  // for operands past the tile sizes, blocking over k and j keeps the
+  // touched panel of `other` (tile_k x tile_j doubles) cache-resident
+  // across all rows. Both paths accumulate each out(i, j) in strictly
+  // ascending k order, so results are bit-identical regardless of shape.
+  constexpr std::size_t kTileK = 64;
+  constexpr std::size_t kTileJ = 128;
+  const std::size_t n = rows_, kd = cols_, m = other.cols_;
+  if (kd <= kTileK && m <= kTileJ) {
+    for (std::size_t i = 0; i < n; ++i) {
+      const double* arow = data() + i * kd;
+      double* orow = out.data() + i * m;
+      for (std::size_t k = 0; k < kd; ++k) {
+        const double aik = arow[k];
+        const double* brow = other.data() + k * m;
+        for (std::size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
+      }
+    }
+    return out;
+  }
+  for (std::size_t jj = 0; jj < m; jj += kTileJ) {
+    const std::size_t jend = std::min(m, jj + kTileJ);
+    for (std::size_t kk = 0; kk < kd; kk += kTileK) {
+      const std::size_t kend = std::min(kd, kk + kTileK);
+      for (std::size_t i = 0; i < n; ++i) {
+        const double* arow = data() + i * kd;
+        double* orow = out.data() + i * m;
+        for (std::size_t k = kk; k < kend; ++k) {
+          const double aik = arow[k];
+          const double* brow = other.data() + k * m;
+          for (std::size_t j = jj; j < jend; ++j) orow[j] += aik * brow[j];
+        }
+      }
     }
   }
   return out;
@@ -186,6 +211,26 @@ bool Matrix::has_non_finite() const {
 
 std::string Matrix::shape_string() const {
   return std::to_string(rows_) + "x" + std::to_string(cols_);
+}
+
+Matrix vstack(const std::vector<const Matrix*>& parts) {
+  if (parts.empty()) throw std::invalid_argument("vstack: no matrices");
+  std::size_t rows = 0;
+  const std::size_t cols = parts.front()->cols();
+  for (const Matrix* part : parts) {
+    if (part == nullptr) throw std::invalid_argument("vstack: null matrix");
+    if (part->cols() != cols) {
+      throw std::invalid_argument("vstack: column mismatch " + part->shape_string());
+    }
+    rows += part->rows();
+  }
+  Matrix out(rows, cols);
+  double* dst = out.data();
+  for (const Matrix* part : parts) {
+    std::copy(part->data(), part->data() + part->size(), dst);
+    dst += part->size();
+  }
+  return out;
 }
 
 double max_abs_diff(const Matrix& a, const Matrix& b) {

@@ -265,6 +265,13 @@ class Simplex {
     long dual_pivots = 0;
     const long pivot_cap = 4L * m_ + 1000;
     int pivots_since_refactor = 0;
+    // Terminal verdicts (optimal / dual ray) are only trusted after the
+    // basis has been refactored and the basic values recomputed: the
+    // incremental val_ updates drift, and a verdict read off drifted
+    // numbers can be wrong in either direction (a marginally infeasible
+    // LP "repaired" to optimal, or a near-degenerate basis presenting a
+    // spurious ray).
+    bool verified_terminal = false;
     for (;;) {
       if (watch.seconds() > options_.time_limit_seconds) {
         return SolveStatus::kTimeLimit;
@@ -286,7 +293,16 @@ class Simplex {
         if (over > worst) { worst = over; p_leave = p; above_upper = true; }
         if (under > worst) { worst = under; p_leave = p; above_upper = false; }
       }
-      if (p_leave < 0) return SolveStatus::kOptimal;  // primal feasible
+      if (p_leave < 0) {  // primal feasible
+        if (!verified_terminal) {
+          if (!refactor()) return std::nullopt;
+          compute_basic_values();
+          pivots_since_refactor = 0;
+          verified_terminal = true;
+          continue;
+        }
+        return SolveStatus::kOptimal;
+      }
 
       compute_duals(y);
       const double* rho = binv_.data() + static_cast<std::size_t>(p_leave) * m_;
@@ -325,7 +341,16 @@ class Simplex {
           enter_alpha = alpha;
         }
       }
-      if (enter < 0) return SolveStatus::kInfeasible;  // dual ray: no primal point
+      if (enter < 0) {  // dual ray: no primal point
+        if (!verified_terminal) {
+          if (!refactor()) return std::nullopt;
+          compute_basic_values();
+          pivots_since_refactor = 0;
+          verified_terminal = true;
+          continue;
+        }
+        return SolveStatus::kInfeasible;
+      }
 
       ftran(enter, w);
       const int leave = basis_[p_leave];
@@ -349,6 +374,7 @@ class Simplex {
         const double factor = w[p];
         for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
       }
+      verified_terminal = false;
       if (++pivots_since_refactor >= options_.refactor_interval) {
         pivots_since_refactor = 0;
         if (!refactor()) return std::nullopt;

@@ -26,8 +26,10 @@ GatEncoder::GatEncoder(std::string name, int in_features, int hidden, int layers
 
 std::shared_ptr<const std::vector<std::vector<int>>> GatEncoder::neighbor_lists(
     const std::shared_ptr<const la::CsrMatrix>& adjacency) {
-  if (adjacency.get() == cached_for_ && cached_neighbors_ != nullptr) {
-    return cached_neighbors_;
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    auto it = neighbor_cache_.find(adjacency.get());
+    if (it != neighbor_cache_.end()) return it->second;
   }
   auto lists = std::make_shared<std::vector<std::vector<int>>>(adjacency->rows());
   for (std::size_t r = 0; r < adjacency->rows(); ++r) {
@@ -38,9 +40,13 @@ std::shared_ptr<const std::vector<std::vector<int>>> GatEncoder::neighbor_lists(
       (*lists)[r].push_back(static_cast<int>(adjacency->col_indices()[k]));
     }
   }
-  cached_for_ = adjacency.get();
-  cached_neighbors_ = lists;
-  return lists;
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  // Bound the cache: keyed by adjacency address, so long-lived encoders
+  // seeing many transient matrices would otherwise grow without limit
+  // (and a recycled address must not alias a stale entry list).
+  if (neighbor_cache_.size() >= 64) neighbor_cache_.clear();
+  auto [it, inserted] = neighbor_cache_.emplace(adjacency.get(), std::move(lists));
+  return it->second;
 }
 
 ad::Tensor GatEncoder::forward(ad::Tape& tape,

@@ -7,6 +7,9 @@
 // reproduces that comparison.
 #pragma once
 
+#include <mutex>
+#include <unordered_map>
+
 #include "nn/encoder.hpp"
 #include "nn/linear.hpp"
 
@@ -32,15 +35,18 @@ class GatEncoder final : public GraphEncoder {
   };
 
   /// Neighbor lists derived from the adjacency's sparsity pattern,
-  /// cached per adjacency object.
+  /// cached per adjacency object. Guarded by cache_mutex_ so concurrent
+  /// rollout workers can share one encoder safely.
   std::shared_ptr<const std::vector<std::vector<int>>> neighbor_lists(
       const std::shared_ptr<const la::CsrMatrix>& adjacency);
 
   int in_features_;
   int hidden_;
   std::vector<AttentionLayer> layers_;
-  const la::CsrMatrix* cached_for_ = nullptr;
-  std::shared_ptr<const std::vector<std::vector<int>>> cached_neighbors_;
+  std::mutex cache_mutex_;
+  std::unordered_map<const la::CsrMatrix*,
+                     std::shared_ptr<const std::vector<std::vector<int>>>>
+      neighbor_cache_;
 };
 
 }  // namespace np::nn

@@ -1,8 +1,7 @@
 #include "plan/parallel_evaluator.hpp"
 
-#include <atomic>
+#include <functional>
 #include <stdexcept>
-#include <thread>
 
 namespace np::plan {
 
@@ -20,6 +19,7 @@ ParallelPlanEvaluator::ParallelPlanEvaluator(const topo::Topology& topology,
     groups_[scenario % threads_].push_back(scenario);
   }
   for (int t = 0; t < threads_; ++t) cached_[t].resize(groups_[t].size());
+  pool_ = std::make_unique<util::ThreadPool>(threads_ - 1);
 }
 
 CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
@@ -56,14 +56,10 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
     }
   };
 
-  if (threads_ == 1) {
-    worker(0);
-  } else {
-    std::vector<std::thread> pool;
-    pool.reserve(threads_);
-    for (int t = 0; t < threads_; ++t) pool.emplace_back(worker, t);
-    for (std::thread& th : pool) th.join();
-  }
+  std::vector<std::function<void()>> tasks;
+  tasks.reserve(threads_);
+  for (int t = 0; t < threads_; ++t) tasks.push_back([&worker, t] { worker(t); });
+  pool_->run_all(std::move(tasks));
 
   CheckResult result;
   result.scenarios_checked = num_scenarios();
@@ -77,6 +73,7 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
     }
   }
   result.feasible = result.violated_scenario < 0;
+  total_lp_iterations_ += result.lp_iterations;
   return result;
 }
 

@@ -17,6 +17,7 @@
 #include "plan/evaluator.hpp"
 #include "plan/scenario_lp.hpp"
 #include "topo/topology.hpp"
+#include "util/thread_pool.hpp"
 
 namespace np::plan {
 
@@ -31,8 +32,16 @@ class ParallelPlanEvaluator {
   /// reports the first violated scenario by index.
   CheckResult check(const std::vector<int>& total_units);
 
+  /// Trajectory boundary. Scenario models are patched, not monotone, so
+  /// nothing needs invalidating — present for API parity with
+  /// PlanEvaluator so callers can hold either behind one interface.
+  void reset() {}
+
   int num_scenarios() const { return topology_.num_failures() + 1; }
   int threads() const { return threads_; }
+
+  /// Cumulative simplex iterations since construction (efficiency metric).
+  long total_lp_iterations() const { return total_lp_iterations_; }
 
  private:
   const topo::Topology& topology_;
@@ -40,6 +49,10 @@ class ParallelPlanEvaluator {
   /// cached_[t] holds thread t's scenario models (lazily built).
   std::vector<std::vector<std::optional<ScenarioLp>>> cached_;
   std::vector<std::vector<int>> groups_;  // thread -> scenario indices
+  /// Persistent pool of threads_-1 workers; the calling thread runs
+  /// group 0 itself via run_all, so threads_ groups solve concurrently.
+  std::unique_ptr<util::ThreadPool> pool_;
+  long total_lp_iterations_ = 0;
 };
 
 }  // namespace np::plan

@@ -166,6 +166,16 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
   lp::SimplexOptions options = base_options;
   options.warm_start = (use_warm_start && lp.has_basis) ? &lp.basis : nullptr;
   lp::Solution solution = lp::solve(lp.model, options);
+  if (solution.status != lp::SolveStatus::kOptimal &&
+      options.warm_start != nullptr) {
+    // The elastic LP is feasible and bounded by construction, so any
+    // non-optimal verdict out of a warm solve is an artifact of the
+    // stale basis; retry cold before reporting it.
+    options.warm_start = nullptr;
+    lp::Solution retry = lp::solve(lp.model, options);
+    retry.iterations += solution.iterations;
+    solution = std::move(retry);
+  }
   ScenarioCheck check;
   check.lp_iterations = solution.iterations;
   if (solution.status != lp::SolveStatus::kOptimal) {

@@ -22,6 +22,7 @@
 #include "la/sparse.hpp"
 #include "nn/actor_critic.hpp"
 #include "plan/evaluator.hpp"
+#include "plan/parallel_evaluator.hpp"
 #include "topo/topology.hpp"
 #include "topo/transform.hpp"
 
@@ -32,6 +33,9 @@ struct EnvConfig {
   int max_trajectory_steps = 1024; ///< Table 2 "max length per trajectory"
   bool include_static_features = true;
   plan::EvaluatorMode evaluator_mode = plan::EvaluatorMode::kStateful;
+  /// > 1 checks failure scenarios with a ParallelPlanEvaluator (grouped
+  /// scenarios, §5); 1 keeps the sequential evaluator_mode evaluator.
+  int evaluator_threads = 1;
 };
 
 struct StepResult {
@@ -82,13 +86,18 @@ class PlanningEnv {
   /// Scale that maps one step's cost into [0, 1] for the reward.
   double reward_scale() const { return reward_scale_; }
   /// Cumulative evaluator LP iterations (efficiency accounting, Fig. 7).
-  long evaluator_lp_iterations() const { return evaluator_.total_lp_iterations(); }
+  long evaluator_lp_iterations() const {
+    return parallel_evaluator_ ? parallel_evaluator_->total_lp_iterations()
+                               : sequential_evaluator_->total_lp_iterations();
+  }
 
  private:
   const topo::Topology& topology_;
   EnvConfig config_;
   topo::TransformedGraph transform_;
-  plan::PlanEvaluator evaluator_;
+  /// Exactly one of these is set, per EnvConfig::evaluator_threads.
+  std::unique_ptr<plan::PlanEvaluator> sequential_evaluator_;
+  std::unique_ptr<plan::ParallelPlanEvaluator> parallel_evaluator_;
   std::vector<int> units_;
   std::vector<int> initial_units_;
   int steps_ = 0;

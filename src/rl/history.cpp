@@ -6,12 +6,13 @@
 namespace np::rl {
 
 void write_history_csv(const std::vector<EpochStats>& history, std::ostream& out) {
-  out << "epoch,steps,trajectories,feasible,mean_return,best_cost\n";
+  out << "epoch,steps,trajectories,feasible,mean_return,best_cost,seconds,"
+         "rollout_seconds\n";
   for (const EpochStats& s : history) {
     out << s.epoch << ',' << s.steps << ',' << s.trajectories << ','
         << s.feasible_trajectories << ',' << s.mean_return << ',';
     if (s.best_cost_so_far < 1e299) out << s.best_cost_so_far;
-    out << '\n';
+    out << ',' << s.seconds << ',' << s.rollout_seconds << '\n';
   }
 }
 

@@ -10,8 +10,9 @@
 
 namespace np::rl {
 
-/// Header: epoch,steps,trajectories,feasible,mean_return,best_cost.
-/// best_cost is empty until a feasible plan exists.
+/// Header: epoch,steps,trajectories,feasible,mean_return,best_cost,
+/// seconds,rollout_seconds. best_cost is empty until a feasible plan
+/// exists.
 void write_history_csv(const std::vector<EpochStats>& history, std::ostream& out);
 
 void write_history_csv_file(const std::vector<EpochStats>& history,

@@ -1,0 +1,223 @@
+#include "rl/rollout.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <functional>
+#include <stdexcept>
+
+#include "ad/tape.hpp"
+
+namespace np::rl {
+
+int sample_from_log_probs(const la::Matrix& log_probs,
+                          const std::vector<std::uint8_t>& mask, Rng& rng) {
+  // Categorical sample over valid entries; probabilities sum to 1.
+  double r = rng.uniform();
+  int last_valid = -1;
+  for (std::size_t i = 0; i < mask.size(); ++i) {
+    if (!mask[i]) continue;
+    last_valid = static_cast<int>(i);
+    r -= std::exp(log_probs(0, i));
+    if (r < 0.0) return static_cast<int>(i);
+  }
+  if (last_valid < 0) throw std::logic_error("sample_from_log_probs: dead mask");
+  return last_valid;  // numeric slack
+}
+
+RolloutWorkers::RolloutWorkers(PlanningEnv& env, Rng& rng, nn::ActorCritic& network)
+    : network_(network), workers_(1), borrowed_env_(&env), borrowed_rng_(&rng) {}
+
+RolloutWorkers::RolloutWorkers(const topo::Topology& topology,
+                               const EnvConfig& env_config,
+                               nn::ActorCritic& network, int workers,
+                               unsigned seed)
+    : network_(network), workers_(workers) {
+  if (workers < 1) {
+    throw std::invalid_argument("RolloutWorkers: workers must be >= 1");
+  }
+  envs_.reserve(workers);
+  rngs_.reserve(workers);
+  Rng base(seed);
+  for (int w = 0; w < workers; ++w) {
+    envs_.push_back(std::make_unique<PlanningEnv>(topology, env_config));
+    rngs_.push_back(base.split());
+  }
+  // All envs share one topology, so one block-diagonal family serves
+  // every round; the cache also keeps the block matrices alive at
+  // stable addresses (the GAT neighbor cache keys on the address).
+  adjacency_cache_ =
+      std::make_unique<la::BlockDiagonalCache>(envs_.front()->adjacency());
+  const int participants = std::min(workers, util::ThreadPool::hardware_threads());
+  pool_ = std::make_unique<util::ThreadPool>(std::max(0, participants - 1));
+}
+
+std::vector<WorkerRollout> RolloutWorkers::collect(int total_steps) {
+  if (total_steps < 1) {
+    throw std::invalid_argument("RolloutWorkers::collect: total_steps < 1");
+  }
+  if (borrowed_env_ != nullptr) {
+    std::vector<WorkerRollout> out;
+    out.push_back(collect_serial(*borrowed_env_, *borrowed_rng_, total_steps));
+    return out;
+  }
+  return collect_lockstep(total_steps);
+}
+
+WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
+                                             int steps) {
+  // Mirrors the original serial trainer loop operation-for-operation
+  // (same tape layout, same single rng.uniform() per step) so borrowed
+  // mode reproduces the pre-threading trainer bit-for-bit.
+  WorkerRollout rollout;
+  rollout.records.reserve(steps);
+  double trajectory_return = 0.0;
+
+  env.reset();
+  while (static_cast<int>(rollout.records.size()) < steps) {
+    StepRecord record;
+    record.features = env.features();
+    record.mask = env.action_mask();
+
+    {
+      ad::Tape tape;
+      ad::Tensor log_probs = network_.policy_log_probs(tape, env.adjacency(),
+                                                       record.features, record.mask);
+      ad::Tensor value = network_.value(tape, env.adjacency(), record.features);
+      record.action = sample_from_log_probs(tape.value(log_probs), record.mask, rng);
+      record.log_prob = tape.value(log_probs)(0, record.action);
+      record.value = tape.value(value)(0, 0);
+    }
+
+    const StepResult step = env.step(record.action);
+    record.reward = step.reward;
+    record.terminal = step.done;
+    trajectory_return += step.reward;
+    rollout.records.push_back(std::move(record));
+
+    if (step.done) {
+      ++rollout.trajectories;
+      rollout.return_sum += trajectory_return;
+      trajectory_return = 0.0;
+      if (step.feasible) {
+        ++rollout.feasible_trajectories;
+        const double cost = env.added_cost();
+        if (cost < rollout.best_cost) {
+          rollout.best_cost = cost;
+          rollout.best_added = env.added_units();
+        }
+      }
+      env.reset();
+    }
+  }
+
+  if (!rollout.records.back().terminal) {
+    ad::Tape tape;
+    ad::Tensor v = network_.value(tape, env.adjacency(), env.features());
+    rollout.last_value = tape.value(v)(0, 0);
+  }
+  return rollout;
+}
+
+std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
+  const int k = workers_;
+  std::vector<int> quota(k, total_steps / k);
+  for (int w = 0; w < total_steps % k; ++w) ++quota[w];
+
+  std::vector<WorkerRollout> rollouts(k);
+  std::vector<double> trajectory_return(k, 0.0);
+  for (int w = 0; w < k; ++w) {
+    rollouts[w].records.reserve(quota[w]);
+    envs_[w]->reset();
+  }
+
+  std::vector<int> active;
+  std::vector<la::Matrix> features(k);
+  std::vector<std::vector<std::uint8_t>> masks(k);
+  std::vector<StepResult> results(k);
+
+  for (;;) {
+    active.clear();
+    for (int w = 0; w < k; ++w) {
+      if (static_cast<int>(rollouts[w].records.size()) < quota[w]) active.push_back(w);
+    }
+    if (active.empty()) break;
+
+    // One batched policy+value forward over all active workers' states.
+    std::vector<const la::Matrix*> feature_parts;
+    std::vector<const std::vector<std::uint8_t>*> mask_parts;
+    feature_parts.reserve(active.size());
+    mask_parts.reserve(active.size());
+    for (int w : active) {
+      features[w] = envs_[w]->features();
+      masks[w] = envs_[w]->action_mask();
+      feature_parts.push_back(&features[w]);
+      mask_parts.push_back(&masks[w]);
+    }
+
+    ad::Tape tape;
+    const la::Matrix stacked = la::vstack(feature_parts);
+    auto forward = network_.forward_batch(
+        tape, adjacency_cache_->get(static_cast<int>(active.size())), stacked,
+        mask_parts, /*want_values=*/true);
+
+    // Sample in ascending worker order, each from its own RNG stream:
+    // the draw sequence depends only on (seed, worker), not scheduling.
+    for (std::size_t s = 0; s < active.size(); ++s) {
+      const int w = active[s];
+      StepRecord record;
+      record.features = std::move(features[w]);
+      record.mask = std::move(masks[w]);
+      record.action =
+          sample_from_log_probs(tape.value(forward.log_probs[s]), record.mask, rngs_[w]);
+      record.log_prob = tape.value(forward.log_probs[s])(0, record.action);
+      record.value = tape.value(forward.values[s])(0, 0);
+      rollouts[w].records.push_back(std::move(record));
+    }
+
+    // Env stepping (the LP feasibility checks dominate here) runs on the
+    // pool; each task touches only its own env, results land per slot.
+    std::vector<std::function<void()>> tasks;
+    tasks.reserve(active.size());
+    for (int w : active) {
+      const int action = rollouts[w].records.back().action;
+      tasks.push_back([this, w, action, &results] {
+        results[w] = envs_[w]->step(action);
+      });
+    }
+    pool_->run_all(std::move(tasks));
+
+    // Post-process in ascending worker order (stats merging is ordered).
+    for (int w : active) {
+      StepRecord& record = rollouts[w].records.back();
+      const StepResult& step = results[w];
+      record.reward = step.reward;
+      record.terminal = step.done;
+      trajectory_return[w] += step.reward;
+      if (step.done) {
+        ++rollouts[w].trajectories;
+        rollouts[w].return_sum += trajectory_return[w];
+        trajectory_return[w] = 0.0;
+        if (step.feasible) {
+          ++rollouts[w].feasible_trajectories;
+          const double cost = envs_[w]->added_cost();
+          if (cost < rollouts[w].best_cost) {
+            rollouts[w].best_cost = cost;
+            rollouts[w].best_added = envs_[w]->added_units();
+          }
+        }
+        envs_[w]->reset();
+      }
+    }
+  }
+
+  // Bootstrap values for workers whose last trajectory was cut off.
+  for (int w = 0; w < k; ++w) {
+    if (rollouts[w].records.empty() || rollouts[w].records.back().terminal) continue;
+    ad::Tape tape;
+    ad::Tensor v = network_.value(tape, envs_[w]->adjacency(), envs_[w]->features());
+    rollouts[w].last_value = tape.value(v)(0, 0);
+  }
+  return rollouts;
+}
+
+}  // namespace np::rl

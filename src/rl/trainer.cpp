@@ -26,9 +26,13 @@ A2cTrainer::A2cTrainer(const topo::Topology& topology, const TrainConfig& config
       env_(topology, config.env),
       network_(reconcile(config), rng_),
       actor_optimizer_(ad::AdamConfig{.learning_rate = config.actor_learning_rate}),
-      critic_optimizer_(ad::AdamConfig{.learning_rate = config.critic_learning_rate}) {
+      critic_optimizer_(ad::AdamConfig{.learning_rate = config.critic_learning_rate}),
+      adjacency_cache_(env_.adjacency()) {
   if (config.steps_per_epoch < 1 || config.epochs < 1 || config.chunk_steps < 1) {
     throw std::invalid_argument("A2cTrainer: epochs/steps/chunk must be positive");
+  }
+  if (config.rollout_workers < 1) {
+    throw std::invalid_argument("A2cTrainer: rollout_workers must be >= 1");
   }
   // Algorithm 1 line 19/22: the actor update touches theta and theta_g,
   // the critic update theta_v and theta_g.
@@ -36,27 +40,14 @@ A2cTrainer::A2cTrainer(const topo::Topology& topology, const TrainConfig& config
   actor_optimizer_.add_parameters(network_.gnn_parameters());
   critic_optimizer_.add_parameters(network_.critic_parameters());
   critic_optimizer_.add_parameters(network_.gnn_parameters());
-}
-
-int A2cTrainer::sample_action(const la::Matrix& log_probs,
-                              const std::vector<std::uint8_t>& mask) {
-  // Categorical sample over valid entries; probabilities sum to 1.
-  double r = rng_.uniform();
-  int last_valid = -1;
-  for (std::size_t i = 0; i < mask.size(); ++i) {
-    if (!mask[i]) continue;
-    last_valid = static_cast<int>(i);
-    r -= std::exp(log_probs(0, i));
-    if (r < 0.0) return static_cast<int>(i);
+  if (config.rollout_workers == 1) {
+    // Borrowed mode shares env_/rng_ with the trainer: the serial code
+    // path and RNG stream of the pre-threading trainer, bit-for-bit.
+    rollout_ = std::make_unique<RolloutWorkers>(env_, rng_, network_);
+  } else {
+    rollout_ = std::make_unique<RolloutWorkers>(
+        topology, config.env, network_, config.rollout_workers, config.seed);
   }
-  if (last_valid < 0) throw std::logic_error("sample_action: dead mask");
-  return last_valid;  // numeric slack
-}
-
-double A2cTrainer::critic_value_now() {
-  ad::Tape tape;
-  ad::Tensor v = network_.value(tape, env_.adjacency(), env_.features());
-  return tape.value(v)(0, 0);
 }
 
 EpochStats A2cTrainer::run_epoch() {
@@ -65,69 +56,55 @@ EpochStats A2cTrainer::run_epoch() {
   stats.epoch = ++epoch_counter_;
   stats.best_cost_in_epoch = kUnset;
 
-  std::vector<StepRecord> buffer;
-  buffer.reserve(config_.steps_per_epoch);
-  double trajectory_return = 0.0;
+  Stopwatch rollout_watch;
+  std::vector<WorkerRollout> rollouts = rollout_->collect(config_.steps_per_epoch);
+  stats.rollout_seconds = rollout_watch.seconds();
+
+  // Merge per-worker stats in worker order (deterministic for fixed K).
   double return_sum = 0.0;
-
-  env_.reset();
-  while (static_cast<int>(buffer.size()) < config_.steps_per_epoch) {
-    StepRecord record;
-    record.features = env_.features();
-    record.mask = env_.action_mask();
-
-    {
-      ad::Tape tape;
-      ad::Tensor log_probs = network_.policy_log_probs(tape, env_.adjacency(),
-                                                       record.features, record.mask);
-      ad::Tensor value = network_.value(tape, env_.adjacency(), record.features);
-      record.action = sample_action(tape.value(log_probs), record.mask);
-      record.log_prob = tape.value(log_probs)(0, record.action);
-      record.value = tape.value(value)(0, 0);
-    }
-
-    const StepResult step = env_.step(record.action);
-    record.reward = step.reward;
-    record.terminal = step.done;
-    trajectory_return += step.reward;
-    buffer.push_back(std::move(record));
-
-    if (step.done) {
-      ++stats.trajectories;
-      return_sum += trajectory_return;
-      trajectory_return = 0.0;
-      if (step.feasible) {
-        ++stats.feasible_trajectories;
-        const double cost = env_.added_cost();
-        stats.best_cost_in_epoch = std::min(stats.best_cost_in_epoch, cost);
-        if (cost < best_cost_) {
-          best_cost_ = cost;
-          best_added_ = env_.added_units();
-          log_info("rl: new best feasible plan, cost ", cost, " (epoch ",
-                   stats.epoch, ")");
-        }
-      }
-      env_.reset();
+  std::size_t total_steps = 0;
+  for (const WorkerRollout& r : rollouts) {
+    total_steps += r.records.size();
+    stats.trajectories += r.trajectories;
+    stats.feasible_trajectories += r.feasible_trajectories;
+    return_sum += r.return_sum;
+    stats.best_cost_in_epoch = std::min(stats.best_cost_in_epoch, r.best_cost);
+    if (r.best_cost < best_cost_) {
+      best_cost_ = r.best_cost;
+      best_added_ = r.best_added;
+      log_info("rl: new best feasible plan, cost ", r.best_cost, " (epoch ",
+               stats.epoch, ")");
     }
   }
-  stats.steps = static_cast<int>(buffer.size());
+  stats.steps = static_cast<int>(total_steps);
 
-  // GAE over the epoch buffer; a cut-off trajectory bootstraps with the
-  // critic's estimate of the state after the last step.
-  std::vector<double> rewards(buffer.size()), values(buffer.size());
-  std::vector<bool> terminal(buffer.size());
-  for (std::size_t i = 0; i < buffer.size(); ++i) {
-    rewards[i] = buffer[i].reward;
-    values[i] = buffer[i].value;
-    terminal[i] = buffer[i].terminal;
+  // GAE per worker segment (each bootstraps with its own critic
+  // estimate), concatenated in worker order into one epoch buffer; the
+  // advantage normalization then spans the whole epoch, as before.
+  std::vector<StepRecord> buffer;
+  buffer.reserve(total_steps);
+  std::vector<double> advantages, rewards_to_go;
+  advantages.reserve(total_steps);
+  rewards_to_go.reserve(total_steps);
+  for (WorkerRollout& r : rollouts) {
+    std::vector<double> rewards(r.records.size()), values(r.records.size());
+    std::vector<bool> terminal(r.records.size());
+    for (std::size_t i = 0; i < r.records.size(); ++i) {
+      rewards[i] = r.records[i].reward;
+      values[i] = r.records[i].value;
+      terminal[i] = r.records[i].terminal;
+    }
+    GaeResult gae = compute_gae(rewards, values, terminal, r.last_value, config_.gae);
+    advantages.insert(advantages.end(), gae.advantages.begin(), gae.advantages.end());
+    rewards_to_go.insert(rewards_to_go.end(), gae.rewards_to_go.begin(),
+                         gae.rewards_to_go.end());
+    for (StepRecord& record : r.records) buffer.push_back(std::move(record));
   }
-  const double last_value = buffer.back().terminal ? 0.0 : critic_value_now();
-  GaeResult gae = compute_gae(rewards, values, terminal, last_value, config_.gae);
-  normalize_advantages(gae.advantages);
+  normalize_advantages(advantages);
 
   for (int it = 0; it < std::max(1, config_.update_iterations); ++it) {
-    update_policy(buffer, gae.advantages);
-    update_critic(buffer, gae.rewards_to_go);
+    update_policy(buffer, advantages);
+    update_critic(buffer, rewards_to_go);
   }
 
   if (stats.trajectories > 0) stats.mean_return = return_sum / stats.trajectories;
@@ -135,6 +112,19 @@ EpochStats A2cTrainer::run_epoch() {
   stats.seconds = watch.seconds();
   return stats;
 }
+
+namespace {
+
+/// Stack the chunk's feature matrices for one batched forward.
+la::Matrix stack_chunk_features(const std::vector<StepRecord>& buffer,
+                                std::size_t begin, std::size_t end) {
+  std::vector<const la::Matrix*> parts;
+  parts.reserve(end - begin);
+  for (std::size_t i = begin; i < end; ++i) parts.push_back(&buffer[i].features);
+  return la::vstack(parts);
+}
+
+}  // namespace
 
 void A2cTrainer::update_policy(const std::vector<StepRecord>& buffer,
                                const std::vector<double>& advantages) {
@@ -144,10 +134,29 @@ void A2cTrainer::update_policy(const std::vector<StepRecord>& buffer,
     const std::size_t end =
         std::min(buffer.size(), begin + static_cast<std::size_t>(config_.chunk_steps));
     ad::Tape tape;
+    // Per-step log-prob tensors; batched mode shares one encoder/actor
+    // forward across the chunk (same values, ulp-different gradients —
+    // see TrainConfig::batched_updates).
+    std::vector<ad::Tensor> step_log_probs;
+    step_log_probs.reserve(end - begin);
+    if (config_.batched_updates) {
+      std::vector<const std::vector<std::uint8_t>*> masks;
+      masks.reserve(end - begin);
+      for (std::size_t i = begin; i < end; ++i) masks.push_back(&buffer[i].mask);
+      const la::Matrix stacked = stack_chunk_features(buffer, begin, end);
+      auto forward = network_.forward_batch(
+          tape, adjacency_cache_.get(static_cast<int>(end - begin)), stacked,
+          masks, /*want_values=*/false);
+      step_log_probs = std::move(forward.log_probs);
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        step_log_probs.push_back(network_.policy_log_probs(
+            tape, env_.adjacency(), buffer[i].features, buffer[i].mask));
+      }
+    }
     ad::Tensor loss = tape.constant(la::Matrix(1, 1, 0.0));
     for (std::size_t i = begin; i < end; ++i) {
-      ad::Tensor log_probs = network_.policy_log_probs(
-          tape, env_.adjacency(), buffer[i].features, buffer[i].mask);
+      ad::Tensor log_probs = step_log_probs[i - begin];
       ad::Tensor logp =
           tape.pick(log_probs, 0, static_cast<std::size_t>(buffer[i].action));
       if (config_.ppo_clip > 0.0) {
@@ -186,11 +195,26 @@ void A2cTrainer::update_critic(const std::vector<StepRecord>& buffer,
     const std::size_t end =
         std::min(buffer.size(), begin + static_cast<std::size_t>(config_.chunk_steps));
     ad::Tape tape;
+    std::vector<ad::Tensor> step_values;
+    step_values.reserve(end - begin);
+    if (config_.batched_updates) {
+      const la::Matrix stacked = stack_chunk_features(buffer, begin, end);
+      ad::Tensor values = network_.value_batch(
+          tape, adjacency_cache_.get(static_cast<int>(end - begin)), stacked,
+          end - begin);
+      for (std::size_t i = begin; i < end; ++i) {
+        step_values.push_back(tape.pick(values, i - begin, 0));
+      }
+    } else {
+      for (std::size_t i = begin; i < end; ++i) {
+        step_values.push_back(
+            network_.value(tape, env_.adjacency(), buffer[i].features));
+      }
+    }
     ad::Tensor loss = tape.constant(la::Matrix(1, 1, 0.0));
     for (std::size_t i = begin; i < end; ++i) {
-      ad::Tensor value = network_.value(tape, env_.adjacency(), buffer[i].features);
-      ad::Tensor diff =
-          tape.sub(value, tape.constant(la::Matrix(1, 1, rewards_to_go[i])));
+      ad::Tensor diff = tape.sub(step_values[i - begin],
+                                 tape.constant(la::Matrix(1, 1, rewards_to_go[i])));
       loss = tape.add(loss, tape.scale(tape.square(diff), inv_n));
     }
     tape.backward(loss);
@@ -214,7 +238,7 @@ A2cTrainer::PolicyEvaluation A2cTrainer::evaluate_policy(int rollouts) {
         ad::Tape tape;
         ad::Tensor log_probs =
             network_.policy_log_probs(tape, env_.adjacency(), features, mask);
-        action = sample_action(tape.value(log_probs), mask);
+        action = sample_from_log_probs(tape.value(log_probs), mask, rng_);
       }
       const StepResult step = env_.step(action);
       if (step.feasible) {

@@ -16,12 +16,14 @@
 // backward passes before each Adam step.
 #pragma once
 
+#include <memory>
 #include <vector>
 
 #include "ad/adam.hpp"
 #include "nn/actor_critic.hpp"
 #include "rl/env.hpp"
 #include "rl/gae.hpp"
+#include "rl/rollout.hpp"
 #include "util/rng.hpp"
 
 namespace np::rl {
@@ -49,6 +51,16 @@ struct TrainConfig {
   /// Stop early after this many epochs without improving the best
   /// feasible cost (0 disables).
   int patience = 0;
+  /// Rollout workers K. 1 reuses the trainer's env/RNG and is
+  /// bit-for-bit identical to the pre-threading serial trainer; K > 1
+  /// runs K independent envs in lockstep (deterministic for fixed K and
+  /// seed, regardless of thread count). See rl/rollout.hpp.
+  int rollout_workers = 1;
+  /// Recompute update-phase forwards in one batched pass per chunk
+  /// (block-diagonal adjacency) instead of per step. Changes gradient
+  /// summation order by ulps — off by default to preserve bit-exact
+  /// reproducibility with the serial trainer.
+  bool batched_updates = false;
 };
 
 struct EpochStats {
@@ -60,6 +72,7 @@ struct EpochStats {
   double best_cost_in_epoch = 0.0;   ///< cheapest feasible plan this epoch (inf if none)
   double best_cost_so_far = 0.0;     ///< cheapest feasible plan since start (inf if none)
   double seconds = 0.0;
+  double rollout_seconds = 0.0;      ///< time spent collecting the epoch buffer
 };
 
 class A2cTrainer {
@@ -101,25 +114,12 @@ class A2cTrainer {
   const TrainConfig& config() const { return config_; }
 
  private:
-  struct StepRecord {
-    la::Matrix features;
-    std::vector<std::uint8_t> mask;
-    int action = 0;
-    double log_prob = 0.0;  ///< behavior policy's logp of the action
-    double reward = 0.0;
-    double value = 0.0;
-    bool terminal = false;
-  };
-
-  int sample_action(const la::Matrix& log_probs,
-                    const std::vector<std::uint8_t>& mask);
-  double critic_value_now();
   void update_policy(const std::vector<StepRecord>& buffer,
                      const std::vector<double>& advantages);
   void update_critic(const std::vector<StepRecord>& buffer,
                      const std::vector<double>& rewards_to_go);
 
-  static constexpr double kUnset = 1e300;
+  static constexpr double kUnset = kUnsetCost;
 
   TrainConfig config_;
   Rng rng_;
@@ -127,6 +127,8 @@ class A2cTrainer {
   nn::ActorCritic network_;
   ad::Adam actor_optimizer_;
   ad::Adam critic_optimizer_;
+  std::unique_ptr<RolloutWorkers> rollout_;
+  la::BlockDiagonalCache adjacency_cache_;  ///< for batched updates
   double best_cost_ = kUnset;
   std::vector<int> best_added_;
   int epoch_counter_ = 0;

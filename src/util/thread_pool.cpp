@@ -1,0 +1,86 @@
+#include "util/thread_pool.hpp"
+
+#include <stdexcept>
+
+namespace np::util {
+
+ThreadPool::ThreadPool(int workers) {
+  if (workers < 0) throw std::invalid_argument("ThreadPool: negative worker count");
+  threads_.reserve(workers);
+  for (int i = 0; i < workers; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  ready_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stopping_ with a drained queue
+      task = std::move(queue_.front());
+      queue_.pop();
+    }
+    task();  // packaged_task stores any exception in the future
+  }
+}
+
+std::future<void> ThreadPool::submit(std::function<void()> task) {
+  std::packaged_task<void()> wrapped(std::move(task));
+  std::future<void> result = wrapped.get_future();
+  if (threads_.empty()) {
+    wrapped();
+    return result;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) throw std::logic_error("ThreadPool::submit: pool is stopping");
+    queue_.push(std::move(wrapped));
+  }
+  ready_.notify_one();
+  return result;
+}
+
+void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
+  if (tasks.empty()) return;
+  if (threads_.empty()) {
+    for (auto& task : tasks) task();  // inline; first exception propagates as-is
+    return;
+  }
+  std::vector<std::future<void>> pending;
+  pending.reserve(tasks.size() - 1);
+  for (std::size_t i = 1; i < tasks.size(); ++i) {
+    pending.push_back(submit(std::move(tasks[i])));
+  }
+  std::exception_ptr first;
+  try {
+    tasks[0]();
+  } catch (...) {
+    first = std::current_exception();
+  }
+  for (std::future<void>& f : pending) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first) first = std::current_exception();
+    }
+  }
+  if (first) std::rethrow_exception(first);
+}
+
+int ThreadPool::hardware_threads() {
+  const unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+}  // namespace np::util

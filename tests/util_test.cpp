@@ -1,9 +1,13 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <atomic>
 #include <cmath>
 #include <cstdlib>
+#include <functional>
 #include <set>
+#include <stdexcept>
+#include <thread>
 #include <vector>
 
 #include "util/env.hpp"
@@ -11,6 +15,7 @@
 #include "util/rng.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace np {
 namespace {
@@ -208,6 +213,63 @@ TEST(Table, FormatsCrossForInvalid) {
 TEST(Table, FmtDoublePrecision) {
   EXPECT_EQ(fmt_double(3.14159, 2), "3.14");
   EXPECT_EQ(fmt_double(-0.5, 1), "-0.5");
+}
+
+TEST(ThreadPool, NegativeWorkerCountThrows) {
+  EXPECT_THROW(util::ThreadPool(-1), std::invalid_argument);
+}
+
+TEST(ThreadPool, ZeroWorkersRunsInline) {
+  util::ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), 0);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  pool.submit([&] { ran_on = std::this_thread::get_id(); }).get();
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, RunAllExecutesEveryTask) {
+  util::ThreadPool pool(3);
+  std::atomic<int> count{0};
+  std::vector<std::function<void()>> tasks;
+  for (int i = 0; i < 20; ++i) {
+    tasks.push_back([&count] { count.fetch_add(1); });
+  }
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(ThreadPool, RunAllTaskZeroOnCallerThread) {
+  util::ThreadPool pool(2);
+  const auto caller = std::this_thread::get_id();
+  std::thread::id ran_on;
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([&ran_on] { ran_on = std::this_thread::get_id(); });
+  tasks.push_back([] {});
+  pool.run_all(std::move(tasks));
+  EXPECT_EQ(ran_on, caller);
+}
+
+TEST(ThreadPool, RunAllPropagatesExceptionAfterAllFinish) {
+  util::ThreadPool pool(2);
+  std::atomic<int> completed{0};
+  std::vector<std::function<void()>> tasks;
+  tasks.push_back([] { throw std::runtime_error("boom"); });
+  for (int i = 0; i < 8; ++i) {
+    tasks.push_back([&completed] { completed.fetch_add(1); });
+  }
+  EXPECT_THROW(pool.run_all(std::move(tasks)), std::runtime_error);
+  EXPECT_EQ(completed.load(), 8);  // siblings still ran to completion
+}
+
+TEST(ThreadPool, SubmitFutureRethrowsTaskException) {
+  util::ThreadPool pool(1);
+  auto future = pool.submit([] { throw std::logic_error("task failed"); });
+  EXPECT_THROW(future.get(), std::logic_error);
+}
+
+TEST(ThreadPool, HardwareThreadsAtLeastOne) {
+  EXPECT_GE(util::ThreadPool::hardware_threads(), 1);
 }
 
 }  // namespace

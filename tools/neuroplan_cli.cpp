@@ -5,12 +5,15 @@
 //   neuroplan_cli evaluate <topo> <u0,u1,...>          check a plan (ADDED units)
 //   neuroplan_cli plan <topo> <planner> [out.plan]     run a planner:
 //       neuroplan | ilp | ilp-heur | greedy | decomposition
-//   neuroplan_cli train <topo> <agent.ckpt> [epochs]   train + checkpoint an agent
+//   neuroplan_cli train <topo> <agent.ckpt> [epochs]
+//       [--rollout-workers N] [--batched-updates]      train + checkpoint an agent
 //   neuroplan_cli report <topo> <plan-file>            operator report for a plan
 //
 // `plan ... neuroplan` honors NEUROPLAN_AGENT=<ckpt>: the agent loads
 // the checkpoint before (briefly) fine-tuning, so trained policies are
-// reusable across planning cycles.
+// reusable across planning cycles. NEUROPLAN_ROLLOUT_WORKERS=<K> sets
+// the rollout worker count for `plan ... neuroplan` (default 1, the
+// bit-reproducible serial path).
 //
 // Plans are stored one integer per line (added units per link, in link
 // order). Exit code 0 = success / feasible, 1 = failure / infeasible,
@@ -45,7 +48,8 @@ int usage() {
                "  neuroplan_cli evaluate <topo> <u0,u1,...>\n"
                "  neuroplan_cli plan <topo> <neuroplan|ilp|ilp-heur|greedy|"
                "decomposition> [out.plan]\n"
-               "  neuroplan_cli train <topo> <agent.ckpt> [epochs]\n"
+               "  neuroplan_cli train <topo> <agent.ckpt> [epochs]"
+               " [--rollout-workers N] [--batched-updates]\n"
                "  neuroplan_cli report <topo> <plan-file>\n");
   return 2;
 }
@@ -137,6 +141,10 @@ int cmd_plan(int argc, char** argv) {
         t, static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7)));
     const long epochs = env_long("NEUROPLAN_EPOCHS", 0);
     if (epochs > 0) config.train.epochs = static_cast<int>(epochs);
+    const long rollout_workers = env_long("NEUROPLAN_ROLLOUT_WORKERS", 0);
+    if (rollout_workers > 0) {
+      config.train.rollout_workers = static_cast<int>(rollout_workers);
+    }
     config.relax_factor = env_double("NEUROPLAN_ALPHA", 1.5);
     const std::string agent_path = env_string("NEUROPLAN_AGENT", "");
     if (agent_path.empty()) {
@@ -197,7 +205,20 @@ int cmd_train(int argc, char** argv) {
   const topo::Topology t = topo::load_file(argv[2]);
   rl::TrainConfig config = core::default_train_config(
       t, static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7)));
-  if (argc > 4) config.epochs = std::atoi(argv[4]);
+  for (int i = 4; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--rollout-workers") {
+      if (i + 1 >= argc) return usage();
+      config.rollout_workers = std::atoi(argv[++i]);
+      if (config.rollout_workers < 1) return usage();
+    } else if (arg == "--batched-updates") {
+      config.batched_updates = true;
+    } else if (i == 4 && !arg.empty() && arg[0] != '-') {
+      config.epochs = std::atoi(argv[i]);
+    } else {
+      return usage();
+    }
+  }
   rl::A2cTrainer trainer(t, config);
   const auto history = trainer.train();
   trainer.greedy_rollout();
