@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Run the curated clang-tidy gate (.clang-tidy at the repo root) over
+# the library and CLI sources, using the compile database exported by
+# CMake (CMAKE_EXPORT_COMPILE_COMMANDS is on by default).
+#
+# Usage:
+#   scripts/run_clang_tidy.sh [build-dir]
+#
+# Environment:
+#   CLANG_TIDY              clang-tidy binary to use (default: clang-tidy)
+#   NEUROPLAN_TIDY_STRICT   when 1, a missing clang-tidy is an error
+#                           instead of a skip (CI sets this)
+#   NEUROPLAN_TIDY_JOBS     parallel jobs (default: nproc)
+#
+# Exit status: 0 when every file is clean (or the tool is absent and
+# strict mode is off), non-zero on any finding or infrastructure error.
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-"${repo_root}/build"}"
+tidy_bin="${CLANG_TIDY:-clang-tidy}"
+strict="${NEUROPLAN_TIDY_STRICT:-0}"
+jobs="${NEUROPLAN_TIDY_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+if ! command -v "${tidy_bin}" >/dev/null 2>&1; then
+  if [[ "${strict}" == "1" ]]; then
+    echo "error: ${tidy_bin} not found and NEUROPLAN_TIDY_STRICT=1" >&2
+    exit 1
+  fi
+  echo "warning: ${tidy_bin} not found; skipping the clang-tidy gate" >&2
+  echo "         (install clang-tidy or set CLANG_TIDY; CI runs this strictly)" >&2
+  exit 0
+fi
+
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "error: ${build_dir}/compile_commands.json not found." >&2
+  echo "       Configure first: cmake --preset default" >&2
+  exit 1
+fi
+
+# Library and CLI translation units only: test files are dominated by
+# gtest macro expansions, which drown the signal of the curated set.
+mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" -name '*.cpp' | sort)
+echo "clang-tidy ($("${tidy_bin}" --version | head -n1)) over ${#files[@]} files, ${jobs} jobs"
+
+status=0
+printf '%s\n' "${files[@]}" \
+  | xargs -P "${jobs}" -n 1 "${tidy_bin}" -p "${build_dir}" --quiet \
+  || status=$?
+
+if [[ ${status} -ne 0 ]]; then
+  echo "clang-tidy gate FAILED (exit ${status})" >&2
+  exit "${status}"
+fi
+echo "clang-tidy gate clean"

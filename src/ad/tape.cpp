@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::ad {
 
 namespace {
@@ -122,6 +124,7 @@ Tensor Tape::exp(Tensor a) {
 
 Tensor Tape::matmul(Tensor a, Tensor b) {
   la::Matrix out = value(a).matmul(value(b));
+  NP_CHECK_FINITE(out.data(), out.size(), "Tape::matmul");
   const bool needs = node(a).needs_grad || node(b).needs_grad;
   const auto ai = a.index, bi = b.index;
   return emit(std::move(out), needs, [ai, bi](Tape& tape, const Node& self) {
@@ -137,6 +140,7 @@ Tensor Tape::matmul(Tensor a, Tensor b) {
 Tensor Tape::spmm(std::shared_ptr<const la::CsrMatrix> lhs, Tensor rhs) {
   if (lhs == nullptr) throw std::invalid_argument("Tape::spmm: null adjacency");
   la::Matrix out = lhs->multiply(value(rhs));
+  NP_CHECK_FINITE(out.data(), out.size(), "Tape::spmm");
   const bool needs = node(rhs).needs_grad;
   const auto ri = rhs.index;
   return emit(std::move(out), needs, [lhs, ri](Tape& tape, const Node& self) {
@@ -455,7 +459,11 @@ void Tape::backward(Tensor root) {
     if (n.needs_grad && n.backward_fn) n.backward_fn(*this, n);
   }
   for (auto& [index, param] : param_leaves_) {
-    if (index <= root.index) param->grad += nodes_[index].grad;
+    if (index <= root.index) {
+      NP_CHECK_FINITE(nodes_[index].grad.data(), nodes_[index].grad.size(),
+                      "Tape::backward parameter gradient");
+      param->grad += nodes_[index].grad;
+    }
   }
 }
 

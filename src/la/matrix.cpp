@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "util/check.hpp"
+
 namespace np::la {
 
 Matrix::Matrix(std::size_t rows, std::size_t cols, double fill)
@@ -118,6 +120,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
         for (std::size_t j = 0; j < m; ++j) orow[j] += aik * brow[j];
       }
     }
+    NP_CHECK_FINITE(out.data(), out.size(), "Matrix::matmul");
     return out;
   }
   for (std::size_t jj = 0; jj < m; jj += kTileJ) {
@@ -135,6 +138,7 @@ Matrix Matrix::matmul(const Matrix& other) const {
       }
     }
   }
+  NP_CHECK_FINITE(out.data(), out.size(), "Matrix::matmul");
   return out;
 }
 

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::la {
 
 CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> triplets)
@@ -28,6 +30,8 @@ CsrMatrix::CsrMatrix(std::size_t rows, std::size_t cols, std::vector<Triplet> tr
     ++row_offsets_[triplets[i].row + 1];
   }
   for (std::size_t r = 0; r < rows_; ++r) row_offsets_[r + 1] += row_offsets_[r];
+  NP_CHECK_CSR(rows_, cols_, row_offsets_, col_indices_, values_.size(),
+               "CsrMatrix::CsrMatrix");
 }
 
 CsrMatrix CsrMatrix::from_dense(const Matrix& dense, double tolerance) {
@@ -53,6 +57,7 @@ Matrix CsrMatrix::multiply(const Matrix& dense) const {
       for (std::size_t j = 0; j < dense.cols(); ++j) orow[j] += v * drow[j];
     }
   }
+  NP_CHECK_FINITE(out.data(), out.size(), "CsrMatrix::multiply");
   return out;
 }
 
@@ -69,6 +74,7 @@ Matrix CsrMatrix::multiply_transposed(const Matrix& dense) const {
       for (std::size_t j = 0; j < dense.cols(); ++j) orow[j] += v * drow[j];
     }
   }
+  NP_CHECK_FINITE(out.data(), out.size(), "CsrMatrix::multiply_transposed");
   return out;
 }
 
@@ -102,6 +108,8 @@ CsrMatrix block_diagonal(const CsrMatrix& a, int copies) {
       out.row_offsets_.push_back(out.col_indices_.size());
     }
   }
+  NP_CHECK_CSR(out.rows_, out.cols_, out.row_offsets_, out.col_indices_,
+               out.values_.size(), "block_diagonal");
   return out;
 }
 

@@ -5,6 +5,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
 namespace np::lp {
@@ -47,6 +48,7 @@ class Simplex {
     }
 
     if (warm == WarmState::kBasisOnly) {
+      check_basis_invariants("Simplex::run warm start");
       // The warm basis is primal infeasible (typical after a bound
       // change, e.g. a branch-and-bound child). If it is still DUAL
       // feasible, the dual simplex repairs primal feasibility in a few
@@ -57,7 +59,7 @@ class Simplex {
       if (repaired.has_value()) {
         solution.start_path = StartPath::kDualRepair;
         if (*repaired == SolveStatus::kOptimal) {
-          const SolveStatus st = iterate(watch, /*phase1=*/false);
+          const SolveStatus st = phase2_verified(watch);
           finish(solution, st, watch);
           return solution;
         }
@@ -73,6 +75,7 @@ class Simplex {
         solution.start_path = StartPath::kWarmFailed;
       }
       cold_start();
+      check_basis_invariants("Simplex::run cold start");
     }
 
     // Phase 1: drive artificial variables (and, for warm starts that
@@ -84,6 +87,9 @@ class Simplex {
         finish(solution, st, watch);
         return solution;
       }
+      // The infeasibility verdict must be read off exact basic values,
+      // not the incrementally-updated (drift-prone) ones.
+      refresh_factorization();
       if (phase_objective() > 1e3 * options_.feasibility_tolerance) {
         finish(solution, SolveStatus::kInfeasible, watch);
         return solution;
@@ -95,7 +101,7 @@ class Simplex {
     fix_artificials();
 
     set_phase2_costs();
-    const SolveStatus st = iterate(watch, /*phase1=*/false);
+    const SolveStatus st = phase2_verified(watch);
     finish(solution, st, watch);
     return solution;
   }
@@ -184,6 +190,7 @@ class Simplex {
       throw std::logic_error("Simplex: artificial basis must be invertible");
     }
     compute_basic_values();
+    factor_fresh_ = true;
   }
 
   enum class WarmState { kNone, kPrimalFeasible, kBasisOnly };
@@ -227,6 +234,7 @@ class Simplex {
     }
     if (!refactor()) return WarmState::kNone;
     compute_basic_values();
+    factor_fresh_ = true;
     needs_phase1_ = false;
     for (int r = 0; r < m_; ++r) {
       const int j = basis_[r];
@@ -297,6 +305,7 @@ class Simplex {
         if (!verified_terminal) {
           if (!refactor()) return std::nullopt;
           compute_basic_values();
+          factor_fresh_ = true;
           pivots_since_refactor = 0;
           verified_terminal = true;
           continue;
@@ -345,6 +354,7 @@ class Simplex {
         if (!verified_terminal) {
           if (!refactor()) return std::nullopt;
           compute_basic_values();
+          factor_fresh_ = true;
           pivots_since_refactor = 0;
           verified_terminal = true;
           continue;
@@ -356,6 +366,7 @@ class Simplex {
       const int leave = basis_[p_leave];
       const double target = above_upper ? ub_[leave] : lb_[leave];
       const double t_enter = (val_[leave] - target) / enter_alpha;
+      factor_fresh_ = false;
       val_[enter] += t_enter;
       for (int p = 0; p < m_; ++p) {
         if (w[p] != 0.0) val_[basis_[p]] -= t_enter * w[p];
@@ -379,6 +390,7 @@ class Simplex {
         pivots_since_refactor = 0;
         if (!refactor()) return std::nullopt;
         compute_basic_values();
+        factor_fresh_ = true;
       }
     }
   }
@@ -413,7 +425,106 @@ class Simplex {
     return total;
   }
 
+  /// Recompute binv_ and the basic values from scratch unless nothing
+  /// touched them since the last factorization. Throws on a singular
+  /// basis (solve() retries cold with frequent refactorization).
+  void refresh_factorization() {
+    if (factor_fresh_) return;
+    if (!refactor()) {
+      throw std::logic_error("Simplex: basis became singular at a terminal");
+    }
+    compute_basic_values();
+    factor_fresh_ = true;
+  }
+
+  bool basics_within_bounds() const {
+    const double tol = options_.feasibility_tolerance;
+    for (int p = 0; p < m_; ++p) {
+      const int j = basis_[p];
+      if (!std::isfinite(val_[j])) return false;
+      if (std::isfinite(lb_[j]) && val_[j] < lb_[j] - tol * (1.0 + std::abs(lb_[j]))) {
+        return false;
+      }
+      if (std::isfinite(ub_[j]) && val_[j] > ub_[j] + tol * (1.0 + std::abs(ub_[j]))) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Phase-2 optimum with a verified terminal. The primal loop's
+  /// kOptimal verdict is read off incrementally-updated values; a
+  /// near-singular pivot can corrupt them arbitrarily (not just by
+  /// rounding drift), leaving an "optimal" basic variable far outside
+  /// its bounds. So: recompute from a fresh factorization, and if a
+  /// basic variable escaped its bounds, repair with dual pivots (the
+  /// duals are optimal at this point, so dual repair preserves
+  /// optimality) and re-polish. A basis that cannot be verified within
+  /// a few rounds is handed to solve()'s conservative cold retry.
+  SolveStatus phase2_verified(const Stopwatch& watch) {
+    for (int attempt = 0; attempt < 3; ++attempt) {
+      const SolveStatus st = iterate(watch, /*phase1=*/false);
+      if (st != SolveStatus::kOptimal) return st;
+      refresh_factorization();
+      if (basics_within_bounds()) return SolveStatus::kOptimal;
+      const std::optional<SolveStatus> repaired = dual_iterate(watch);
+      if (!repaired.has_value()) break;
+      if (*repaired != SolveStatus::kOptimal) return *repaired;
+    }
+    throw std::logic_error(
+        "Simplex: could not verify primal feasibility at the optimum");
+  }
+
   // ---- basis linear algebra (dense inverse) ----
+
+  /// Deep basis/bound invariants (Debug and sanitizer builds only):
+  /// exactly m_ basic variables, basis_ and status_ agree, lb <= ub
+  /// everywhere, and every nonbasic variable rests on its bound.
+  void check_basis_invariants(const char* where) const {
+#if NP_CHECKS_ENABLED
+    NP_ASSERT(static_cast<int>(basis_.size()) == m_,
+              where, ": basis has ", basis_.size(), " entries for ", m_, " rows");
+    int basic_count = 0;
+    for (int j = 0; j < n_total_; ++j) {
+      if (status_[j] == VarStatus::kBasic) ++basic_count;
+    }
+    NP_ASSERT(basic_count == m_,
+              where, ": ", basic_count, " variables marked basic for ", m_, " rows");
+    for (int p = 0; p < m_; ++p) {
+      NP_ASSERT(basis_[p] >= 0 && basis_[p] < n_total_,
+                where, ": basis position ", p, " holds out-of-range index ", basis_[p]);
+      NP_ASSERT(status_[basis_[p]] == VarStatus::kBasic,
+                where, ": variable ", basis_[p], " in the basis but not marked basic");
+    }
+    const double tol = options_.feasibility_tolerance;
+    for (int j = 0; j < n_total_; ++j) {
+      NP_ASSERT(!(lb_[j] > ub_[j]),
+                where, ": bound inversion on variable ", j,
+                " [", lb_[j], ", ", ub_[j], "]");
+      const double rest_tol = tol * (1.0 + std::abs(val_[j]));
+      switch (status_[j]) {
+        case VarStatus::kAtLower:
+          NP_ASSERT(!std::isfinite(lb_[j]) || std::abs(val_[j] - lb_[j]) <= rest_tol,
+                    where, ": variable ", j, " at-lower but val ", val_[j],
+                    " != lb ", lb_[j]);
+          break;
+        case VarStatus::kAtUpper:
+          NP_ASSERT(!std::isfinite(ub_[j]) || std::abs(val_[j] - ub_[j]) <= rest_tol,
+                    where, ": variable ", j, " at-upper but val ", val_[j],
+                    " != ub ", ub_[j]);
+          break;
+        case VarStatus::kNonbasicFree:
+          NP_ASSERT(val_[j] == 0.0,
+                    where, ": free nonbasic variable ", j, " not at zero");
+          break;
+        case VarStatus::kBasic:
+          break;
+      }
+    }
+#else
+    (void)where;
+#endif
+  }
 
   bool refactor() {
     // Gauss-Jordan inversion of the basis matrix with partial pivoting.
@@ -578,6 +689,7 @@ class Simplex {
       degenerate_streak = t_limit < 1e-10 ? degenerate_streak + 1 : 0;
 
       // Apply the step to the entering variable and the basics.
+      factor_fresh_ = false;
       val_[entering] += entering_dir * t_limit;
       if (t_limit > 0.0) {
         for (int p = 0; p < m_; ++p) {
@@ -617,6 +729,7 @@ class Simplex {
           throw std::logic_error("Simplex: basis became singular");
         }
         compute_basic_values();
+        factor_fresh_ = true;
       }
     }
   }
@@ -643,6 +756,7 @@ class Simplex {
       if (enter < 0) continue;  // redundant row: artificial must stay
       std::vector<double> w;
       ftran(enter, w);
+      factor_fresh_ = false;
       const int leave = basis_[p];
       status_[leave] = VarStatus::kAtLower;
       val_[leave] = 0.0;
@@ -666,6 +780,24 @@ class Simplex {
     solution.solve_seconds = watch.seconds();
     if (status == SolveStatus::kOptimal) {
       purge_artificials();
+      check_basis_invariants("Simplex::finish optimal");
+#if NP_CHECKS_ENABLED
+      // Optimal points must respect the variable bounds (within the
+      // feasibility tolerance) and be finite.
+      {
+        const double tol = options_.feasibility_tolerance;
+        for (int j = 0; j < n_struct_; ++j) {
+          NP_ASSERT(std::isfinite(val_[j]),
+                    "Simplex::finish: non-finite value for variable ", j);
+          NP_ASSERT(val_[j] >= lb_[j] - tol * (1.0 + std::abs(lb_[j])),
+                    "Simplex::finish: variable ", j, " below lower bound: ",
+                    val_[j], " < ", lb_[j]);
+          NP_ASSERT(val_[j] <= ub_[j] + tol * (1.0 + std::abs(ub_[j])),
+                    "Simplex::finish: variable ", j, " above upper bound: ",
+                    val_[j], " > ", ub_[j]);
+        }
+      }
+#endif
       solution.x.assign(val_.begin(), val_.begin() + n_struct_);
       double obj = 0.0;
       for (int j = 0; j < n_struct_; ++j) obj += model_.variable(j).objective * val_[j];
@@ -681,6 +813,10 @@ class Simplex {
   int n_real_ = 0;
   int n_total_ = 0;
   bool needs_phase1_ = true;
+  // True while binv_ is freshly factorized AND the basic values were
+  // computed from it with no incremental (product-form / step) updates
+  // since — i.e. val_ can be trusted for terminal verdicts.
+  bool factor_fresh_ = false;
   long iterations_ = 0;
 
   std::vector<std::vector<std::pair<int, double>>> cols_;
@@ -697,6 +833,8 @@ Solution solve(const Model& model, const SimplexOptions& options) {
   try {
     Simplex simplex(model, options);
     return simplex.run();
+  } catch (const util::ContractViolation&) {
+    throw;  // contract bugs must surface, never be retried away
   } catch (const std::logic_error&) {
     // Numerically singular basis from accumulated product-form drift.
     // Retry once, cold, with frequent refactorization; if even that
@@ -708,6 +846,8 @@ Solution solve(const Model& model, const SimplexOptions& options) {
     try {
       Simplex retry(model, conservative);
       return retry.run();
+    } catch (const util::ContractViolation&) {
+      throw;
     } catch (const std::logic_error&) {
       Solution failed;
       failed.status = SolveStatus::kIterationLimit;

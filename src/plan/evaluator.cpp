@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::plan {
 
 const char* to_string(EvaluatorMode mode) {
@@ -20,7 +22,10 @@ PlanEvaluator::PlanEvaluator(const topo::Topology& topology, EvaluatorMode mode)
   lp_options_.max_iterations = 1000000;
 }
 
-void PlanEvaluator::reset() { next_unchecked_ = 0; }
+void PlanEvaluator::reset() {
+  next_unchecked_ = 0;
+  last_units_.clear();
+}
 
 CheckResult PlanEvaluator::check_scenario(int scenario,
                                           const std::vector<int>& total_units) {
@@ -56,6 +61,18 @@ CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
       throw std::invalid_argument("PlanEvaluator::check: negative units");
     }
   }
+#if NP_CHECKS_ENABLED
+  // Stateful failure checking skips scenarios survived earlier in the
+  // trajectory, which is only sound when capacities never decrease
+  // between checks (§5 precondition; the env's only-add action space
+  // guarantees it, but any other caller must too).
+  if (mode_ == EvaluatorMode::kStateful) {
+    if (!last_units_.empty()) {
+      NP_CHECK_MONOTONE_UNITS(last_units_, total_units, "PlanEvaluator::check");
+    }
+    last_units_ = total_units;
+  }
+#endif
   CheckResult aggregate;
   const int start = mode_ == EvaluatorMode::kStateful ? next_unchecked_ : 0;
   for (int scenario = start; scenario < num_scenarios(); ++scenario) {

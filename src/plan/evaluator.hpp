@@ -75,6 +75,10 @@ class PlanEvaluator {
   std::vector<std::optional<ScenarioLp>> cached_;
   int next_unchecked_ = 0;  ///< kStateful: scenarios before this survived
   long total_lp_iterations_ = 0;
+  /// Units of the previous check since reset(); tracked only when the
+  /// contract layer is compiled in, to enforce the kStateful
+  /// capacity-monotonicity precondition (§5).
+  std::vector<int> last_units_;
 };
 
 }  // namespace np::plan

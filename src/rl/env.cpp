@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::rl {
 
 PlanningEnv::PlanningEnv(const topo::Topology& topology, const EnvConfig& config)
@@ -60,6 +62,17 @@ std::vector<std::uint8_t> PlanningEnv::action_mask() const {
       mask[l * config_.max_units_per_step + (k - 1)] = 1;
     }
   }
+#if NP_CHECKS_ENABLED
+  // Post-condition (Eq. 4): the mask must agree with a fresh headroom
+  // recomputation — a stale or corrupted mask corrupts the policy's
+  // action distribution silently.
+  std::vector<int> headroom_units(topology_.num_links());
+  for (int l = 0; l < topology_.num_links(); ++l) {
+    headroom_units[l] = topology_.spectrum_headroom_units(l, units_);
+  }
+  NP_CHECK_ACTION_MASK(mask, headroom_units, config_.max_units_per_step,
+                       "PlanningEnv::action_mask");
+#endif
   return mask;
 }
 

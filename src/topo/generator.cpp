@@ -68,7 +68,10 @@ Topology generate(const GeneratorParams& params) {
     for (int s = 0; s < params.sites_per_region; ++s) {
       const double sa = 2.0 * kPi * s / params.sites_per_region;
       Site site;
-      site.name = "r" + std::to_string(r) + "s" + std::to_string(s);
+      site.name = "r";
+      site.name += std::to_string(r);
+      site.name += 's';
+      site.name += std::to_string(s);
       site.x = cx + params.region_radius_km * std::cos(sa);
       site.y = cy + params.region_radius_km * std::sin(sa);
       site.region = r;

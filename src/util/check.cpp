@@ -1,0 +1,124 @@
+#include "util/check.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/log.hpp"
+
+namespace np::util {
+
+ContractViolation::ContractViolation(const std::string& what_arg)
+    : std::logic_error(what_arg) {}
+
+void contract_failure(const char* kind, const char* expr, const char* file,
+                      int line, const std::string& detail) {
+  std::string message = detail::concat(kind, " failed: ", expr, " at ", file,
+                                       ":", line);
+  if (!detail.empty()) message += detail::concat(" — ", detail);
+  log_error(message);
+  throw ContractViolation(message);
+}
+
+namespace {
+
+[[noreturn]] void fail(const char* where, const std::string& detail) {
+  const std::string message =
+      detail::concat("NP_CHECK failed in ", where, ": ", detail);
+  log_error(message);
+  throw ContractViolation(message);
+}
+
+}  // namespace
+
+void check_csr(std::size_t rows, std::size_t cols,
+               const std::vector<std::size_t>& row_offsets,
+               const std::vector<std::size_t>& col_indices,
+               std::size_t values_size, const char* where) {
+  if (row_offsets.size() != rows + 1) {
+    fail(where, detail::concat("row_offsets size ", row_offsets.size(),
+                               " != rows+1 = ", rows + 1));
+  }
+  if (row_offsets.front() != 0) {
+    fail(where, detail::concat("row_offsets[0] = ", row_offsets.front(),
+                               ", expected 0"));
+  }
+  if (row_offsets.back() != col_indices.size()) {
+    fail(where, detail::concat("row_offsets back ", row_offsets.back(),
+                               " != nnz ", col_indices.size()));
+  }
+  if (values_size != col_indices.size()) {
+    fail(where, detail::concat("values size ", values_size,
+                               " != col_indices size ", col_indices.size()));
+  }
+  for (std::size_t r = 0; r < rows; ++r) {
+    if (row_offsets[r] > row_offsets[r + 1]) {
+      fail(where, detail::concat("row_offsets decrease at row ", r));
+    }
+    for (std::size_t k = row_offsets[r]; k < row_offsets[r + 1]; ++k) {
+      if (col_indices[k] >= cols) {
+        fail(where, detail::concat("column index ", col_indices[k],
+                                   " out of bounds (cols = ", cols, ") in row ",
+                                   r));
+      }
+      if (k > row_offsets[r] && col_indices[k] <= col_indices[k - 1]) {
+        fail(where, detail::concat("column indices not strictly ascending in row ",
+                                   r, " at nnz ", k));
+      }
+    }
+  }
+}
+
+void check_finite(const double* data, std::size_t count, const char* where) {
+  for (std::size_t i = 0; i < count; ++i) {
+    if (!std::isfinite(data[i])) {
+      fail(where, detail::concat("non-finite value ", data[i], " at index ", i,
+                                 " of ", count));
+    }
+  }
+}
+
+void check_finite(const std::vector<double>& values, const char* where) {
+  check_finite(values.data(), values.size(), where);
+}
+
+void check_action_mask(const std::vector<std::uint8_t>& mask,
+                       const std::vector<int>& headroom_units,
+                       int max_units_per_step, const char* where) {
+  if (max_units_per_step < 1) {
+    fail(where, detail::concat("max_units_per_step = ", max_units_per_step));
+  }
+  const std::size_t m = static_cast<std::size_t>(max_units_per_step);
+  if (mask.size() != headroom_units.size() * m) {
+    fail(where, detail::concat("mask size ", mask.size(), " != links ",
+                               headroom_units.size(), " * m ", m));
+  }
+  for (std::size_t l = 0; l < headroom_units.size(); ++l) {
+    const int allowed = std::min(headroom_units[l], max_units_per_step);
+    for (std::size_t k = 1; k <= m; ++k) {
+      const bool expected = static_cast<int>(k) <= allowed;
+      const bool got = mask[l * m + (k - 1)] != 0;
+      if (got != expected) {
+        fail(where,
+             detail::concat("mask[link ", l, ", add ", k, "] = ", got,
+                            " but spectrum headroom ", headroom_units[l],
+                            " allows <= ", allowed));
+      }
+    }
+  }
+}
+
+void check_monotone_units(const std::vector<int>& previous,
+                          const std::vector<int>& current, const char* where) {
+  if (previous.size() != current.size()) {
+    fail(where, detail::concat("unit vector size changed: ", previous.size(),
+                               " -> ", current.size()));
+  }
+  for (std::size_t l = 0; l < current.size(); ++l) {
+    if (current[l] < previous[l]) {
+      fail(where, detail::concat("capacity decreased on link ", l, ": ",
+                                 previous[l], " -> ", current[l]));
+    }
+  }
+}
+
+}  // namespace np::util

@@ -28,7 +28,9 @@ TEST(ParallelEvaluator, AgreesWithSequentialVerdicts) {
     const plan::CheckResult p = parallel.check(units);
     const plan::CheckResult s = sequential.check(units);
     EXPECT_EQ(p.feasible, s.feasible) << "step " << step;
-    if (!p.feasible) EXPECT_EQ(p.violated_scenario, s.violated_scenario);
+    if (!p.feasible) {
+      EXPECT_EQ(p.violated_scenario, s.violated_scenario);
+    }
     const int link = static_cast<int>(rng.uniform_index(t.num_links()));
     units[link] = std::min(units[link] + 3, t.link_max_units(link));
   }

@@ -3,21 +3,36 @@
 // error — never crash, hang, or produce an inconsistent object.
 #include <gtest/gtest.h>
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 
 #include "topo/generator.hpp"
 #include "topo/serialize.hpp"
+#include "util/env.hpp"
 #include "util/rng.hpp"
 
 namespace np::topo {
 namespace {
 
+/// Deterministic per-test seed: fixed in (suite parameter), offset as a
+/// whole by NEUROPLAN_TEST_SEED so a different corpus can be swept
+/// reproducibly. Every assertion failure reports it via SCOPED_TRACE.
+std::uint64_t fuzz_seed(unsigned param) {
+  return static_cast<std::uint64_t>(env_long("NEUROPLAN_TEST_SEED", 0)) +
+         param * 7919u + 101u;
+}
+
 class SerializeFuzz : public ::testing::TestWithParam<unsigned> {};
 
 TEST_P(SerializeFuzz, MutatedInputNeverCrashes) {
+  const std::uint64_t seed = fuzz_seed(GetParam());
+  SCOPED_TRACE(::testing::Message()
+               << "fuzz seed " << seed
+               << " (offset the sweep with NEUROPLAN_TEST_SEED=<n>)");
+  RecordProperty("seed", static_cast<int>(seed));
   const std::string base = to_text(make_preset('B'));
-  Rng rng(GetParam() * 7919 + 101);
+  Rng rng(seed);
   for (int trial = 0; trial < 40; ++trial) {
     std::string text = base;
     const int mutations = 1 + static_cast<int>(rng.uniform_index(4));

@@ -196,7 +196,9 @@ TEST(Evaluator, FeasibilityIsMonotoneInCapacity) {
   bool was_feasible = false;
   for (int step = 0; step < 40; ++step) {
     const bool feasible = eval.check(units).feasible;
-    if (was_feasible) EXPECT_TRUE(feasible) << "monotonicity violated at " << step;
+    if (was_feasible) {
+      EXPECT_TRUE(feasible) << "monotonicity violated at " << step;
+    }
     was_feasible = feasible;
     for (int l = 0; l < t.num_links(); ++l) {
       units[l] = std::min(units[l] + 2, t.link_max_units(l));

@@ -125,7 +125,9 @@ TEST(Rng, SplitStreamsAreIndependent) {
 TEST(Stopwatch, MeasuresElapsedTime) {
   Stopwatch w;
   volatile double sink = 0.0;
-  for (int i = 0; i < 100000; ++i) sink += std::sqrt(static_cast<double>(i));
+  for (int i = 0; i < 100000; ++i) {
+    sink = sink + std::sqrt(static_cast<double>(i));
+  }
   EXPECT_GE(w.seconds(), 0.0);
   const double earlier = w.seconds();
   const double later = w.seconds();
