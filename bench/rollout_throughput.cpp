@@ -37,27 +37,41 @@ nn::NetworkConfig network_config(const rl::EnvConfig& env) {
   return c;
 }
 
-double steps_per_second(const topo::Topology& topology, const rl::EnvConfig& env,
-                        nn::ActorCritic& net, int workers, unsigned seed,
-                        int steps) {
+struct Measurement {
+  double steps_per_sec = 0.0;
+  double wall_seconds = 0.0;
+  long lp_iterations = 0;   ///< simplex iterations in the measured collect
+  double lp_seconds = 0.0;  ///< seconds inside lp::solve (CPU-seconds, K > 1)
+};
+
+Measurement measure(const topo::Topology& topology, const rl::EnvConfig& env,
+                    nn::ActorCritic& net, int workers, unsigned seed,
+                    int steps) {
   // Fresh PlanningEnv per measurement so LP caches start cold for every
   // worker count; one warmup collect builds them before timing.
+  auto run = [&](rl::RolloutWorkers& rollout) {
+    rollout.collect(steps);  // warmup
+    const long warm_iters = rollout.total_lp_iterations();
+    const double warm_secs = rollout.total_lp_seconds();
+    Stopwatch watch;
+    const auto result = rollout.collect(steps);
+    Measurement m;
+    m.wall_seconds = watch.seconds();
+    std::size_t collected = 0;
+    for (const auto& r : result) collected += r.records.size();
+    m.steps_per_sec = collected / m.wall_seconds;
+    m.lp_iterations = rollout.total_lp_iterations() - warm_iters;
+    m.lp_seconds = rollout.total_lp_seconds() - warm_secs;
+    return m;
+  };
   if (workers == 1) {
     rl::PlanningEnv serial_env(topology, env);
     Rng rng(seed);
     rl::RolloutWorkers rollout(serial_env, rng, net);
-    rollout.collect(steps);  // warmup
-    Stopwatch watch;
-    const auto result = rollout.collect(steps);
-    return result.front().records.size() / watch.seconds();
+    return run(rollout);
   }
   rl::RolloutWorkers rollout(topology, env, net, workers, seed);
-  rollout.collect(steps);  // warmup
-  Stopwatch watch;
-  const auto result = rollout.collect(steps);
-  std::size_t collected = 0;
-  for (const auto& r : result) collected += r.records.size();
-  return collected / watch.seconds();
+  return run(rollout);
 }
 
 }  // namespace
@@ -75,14 +89,26 @@ int main(int argc, char** argv) {
   nn::ActorCritic net(network_config(env), net_rng);
 
   const std::vector<int> worker_counts = {1, 2, 4};
-  std::vector<double> rates;
+  std::vector<Measurement> rows;
   for (int k : worker_counts) {
-    rates.push_back(steps_per_second(topology, env, net, k, seed, steps));
-    std::printf("workers %d: %.1f steps/s\n", k, rates.back());
+    rows.push_back(measure(topology, env, net, k, seed, steps));
+    std::printf("workers %d: %.1f steps/s (lp share %.0f%%)\n", k,
+                rows.back().steps_per_sec,
+                100.0 * rows.back().lp_seconds / rows.back().wall_seconds);
   }
-  const double speedup = rates.back() / rates.front();
+  const double speedup = rows.back().steps_per_sec / rows.front().steps_per_sec;
+  const int hw_threads = util::ThreadPool::hardware_threads();
   std::printf("speedup 4 vs 1: %.2fx (on %d hardware threads)\n", speedup,
-              util::ThreadPool::hardware_threads());
+              hw_threads);
+  // Worker counts past the core count can't parallelize env stepping,
+  // only batch network forwards — flag it so low speedups on small
+  // machines aren't misread as regressions.
+  const bool oversubscribed = hw_threads < worker_counts.back();
+  if (oversubscribed) {
+    std::printf("warning: %d hardware threads < %d workers; speedup is "
+                "thread-starved\n",
+                hw_threads, worker_counts.back());
+  }
 
   const char* out_path = argc > 1 ? argv[1] : "BENCH_rollout.json";
   std::FILE* out = std::fopen(out_path, "w");
@@ -90,24 +116,42 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 1;
   }
+  long total_lp_iterations = 0;
+  double total_lp_seconds = 0.0;
+  for (const Measurement& m : rows) {
+    total_lp_iterations += m.lp_iterations;
+    total_lp_seconds += m.lp_seconds;
+  }
   std::fprintf(out,
                "{\n"
                "  \"benchmark\": \"rollout_throughput\",\n"
                "  \"topology\": \"%c\",\n"
                "  \"steps_per_collect\": %d,\n"
                "  \"hardware_threads\": %d,\n"
+               "  \"warning\": \"%s\",\n"
                "  \"workers\": [\n",
-               preset, steps, util::ThreadPool::hardware_threads());
+               preset, steps, hw_threads,
+               oversubscribed ? "hardware_threads below max worker count; "
+                                "speedup is thread-starved"
+                              : "");
   for (std::size_t i = 0; i < worker_counts.size(); ++i) {
-    std::fprintf(out, "    {\"workers\": %d, \"steps_per_sec\": %.2f}%s\n",
-                 worker_counts[i], rates[i],
+    const Measurement& m = rows[i];
+    std::fprintf(out,
+                 "    {\"workers\": %d, \"steps_per_sec\": %.2f, "
+                 "\"lp_iterations\": %ld, \"lp_seconds\": %.4f, "
+                 "\"lp_share\": %.3f}%s\n",
+                 worker_counts[i], m.steps_per_sec, m.lp_iterations,
+                 m.lp_seconds,
+                 m.wall_seconds > 0.0 ? m.lp_seconds / m.wall_seconds : 0.0,
                  i + 1 < worker_counts.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n"
+               "  \"total_lp_iterations\": %ld,\n"
+               "  \"lp_seconds\": %.4f,\n"
                "  \"speedup_4v1\": %.3f\n"
                "}\n",
-               speedup);
+               total_lp_iterations, total_lp_seconds, speedup);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   return 0;

@@ -1,0 +1,25 @@
+#include "la/sparse_vector.hpp"
+
+namespace np::la {
+
+void ScatterVector::resize(int n) {
+  values_.assign(static_cast<std::size_t>(n), 0.0);
+  touched_.assign(static_cast<std::size_t>(n), 0);
+  pattern_.clear();
+}
+
+void ScatterVector::clear() {
+  for (int i : pattern_) {
+    values_[i] = 0.0;
+    touched_[i] = 0;
+  }
+  pattern_.clear();
+}
+
+void ScatterVector::gather(std::vector<std::pair<int, double>>& out) const {
+  for (int i : pattern_) {
+    if (values_[i] != 0.0) out.emplace_back(i, values_[i]);
+  }
+}
+
+}  // namespace np::la

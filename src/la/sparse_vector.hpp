@@ -1,0 +1,63 @@
+// Scatter/gather workspace for sparse kernels (LU factorization,
+// sparse triangular solves): a dense value array paired with the list
+// of touched indices. A kernel accumulates into random positions in
+// O(1), walks only the touched pattern afterwards, and resets in
+// O(pattern) instead of O(n) — the standard trick that makes sparse
+// column operations cost O(fill) rather than O(dimension).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace np::la {
+
+class ScatterVector {
+ public:
+  ScatterVector() = default;
+  explicit ScatterVector(int n) { resize(n); }
+
+  /// Resize the workspace; all entries become zero, the pattern empty.
+  void resize(int n);
+
+  int size() const { return static_cast<int>(values_.size()); }
+
+  /// Zero every touched entry and forget the pattern. O(pattern).
+  void clear();
+
+  /// values[i] += v, adding i to the pattern on first touch. A position
+  /// cancelled back to zero stays in the pattern (callers skip zeros).
+  void add(int i, double v) {
+    touch(i);
+    values_[i] += v;
+  }
+
+  /// values[i] = v, adding i to the pattern on first touch.
+  void set(int i, double v) {
+    touch(i);
+    values_[i] = v;
+  }
+
+  double operator[](int i) const { return values_[i]; }
+
+  /// Indices touched since the last clear(), in touch order. May
+  /// include positions whose value cancelled back to exactly zero.
+  const std::vector<int>& pattern() const { return pattern_; }
+
+  /// Gather the pattern's nonzero entries into `out` (appended as
+  /// (index, value) pairs), dropping exact zeros.
+  void gather(std::vector<std::pair<int, double>>& out) const;
+
+ private:
+  void touch(int i) {
+    if (touched_[i] == 0) {
+      touched_[i] = 1;
+      pattern_.push_back(i);
+    }
+  }
+
+  std::vector<double> values_;
+  std::vector<std::uint8_t> touched_;
+  std::vector<int> pattern_;
+};
+
+}  // namespace np::la

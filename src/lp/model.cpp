@@ -98,6 +98,7 @@ double Model::max_violation(const std::vector<double>& x) const {
 }
 
 void Model::validate() const {
+  if (validated_) return;
   for (const Variable& v : variables_) {
     if (v.lower > v.upper) throw std::invalid_argument("Model: inverted variable bounds");
   }
@@ -110,6 +111,7 @@ void Model::validate() const {
       if (!std::isfinite(coeff)) throw std::invalid_argument("Model: non-finite coefficient");
     }
   }
+  validated_ = true;
 }
 
 }  // namespace np::lp

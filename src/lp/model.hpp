@@ -72,7 +72,10 @@ class Model {
   double max_violation(const std::vector<double>& x) const;
 
   /// Throws std::invalid_argument when any bound pair is inverted or a
-  /// coefficient is non-finite.
+  /// coefficient is non-finite. Memoized: every mutator enforces these
+  /// invariants at mutation time, so a model that validated once stays
+  /// valid and repeat calls are O(1) — the solver validates per solve,
+  /// and warm-started scenario solves finish in microseconds.
   void validate() const;
 
  private:
@@ -81,6 +84,7 @@ class Model {
 
   std::vector<Variable> variables_;
   std::vector<Row> rows_;
+  mutable bool validated_ = false;
 };
 
 }  // namespace np::lp

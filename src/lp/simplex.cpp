@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
 
+#include "lp/factor.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -21,9 +23,182 @@ const char* to_string(SolveStatus status) {
   return "unknown";
 }
 
+const char* to_string(SimplexEngine engine) {
+  switch (engine) {
+    case SimplexEngine::kSparseLu: return "sparse-lu";
+    case SimplexEngine::kDenseInverse: return "dense-inverse";
+  }
+  return "unknown";
+}
+
 namespace {
 
 constexpr double kPivotTolerance = 1e-9;
+
+/// Basis linear-algebra backend. The simplex only ever touches the
+/// basis through these primitives, so the sparse LU engine and the
+/// dense-inverse reference are interchangeable (and differentially
+/// testable). Index conventions: "row" is a constraint row of the
+/// computational form, "position" is a basis slot 0..m-1.
+class BasisEngine {
+ public:
+  virtual ~BasisEngine() = default;
+  /// Factorize the basis given by its column pointers (one per
+  /// position). Returns false when the basis is numerically singular.
+  virtual bool refactor(const std::vector<ColumnView>& cols) = 0;
+  /// w = B^{-1} a for one sparse column; w dense, by position.
+  virtual void ftran_column(ColumnView a, std::vector<double>& w) const = 0;
+  /// x := B^{-1} x with a dense right-hand side (rows in, positions out).
+  virtual void ftran_dense(std::vector<double>& x) const = 0;
+  /// x := B^{-T} x with a dense right-hand side (positions in, rows out).
+  virtual void btran_dense(std::vector<double>& x) const = 0;
+  /// rho = e_p^T B^{-1}: row p of the basis inverse, indexed by row —
+  /// the dual simplex pivot row.
+  virtual void btran_unit(int p, std::vector<double>& rho) const = 0;
+  /// Rank-one update after the basis exchange at position p, where w is
+  /// the FTRAN result of the entering column.
+  virtual void update(int p, const std::vector<double>& w) = 0;
+  /// Engine-initiated early refactorization (sparse eta-file growth).
+  virtual bool prefers_refactor() const = 0;
+};
+
+/// Dense m x m basis inverse updated in product form — the original
+/// engine, kept as the differential-testing reference.
+class DenseInverseEngine final : public BasisEngine {
+ public:
+  bool refactor(const std::vector<ColumnView>& cols) override {
+    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
+    m_ = static_cast<int>(cols.size());
+    std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      for (const auto& [r, coeff] : cols[p]) {
+        mat[static_cast<std::size_t>(r) * m_ + p] = coeff;
+      }
+    }
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+    for (int col = 0; col < m_; ++col) {
+      int pivot_row = col;
+      double best = std::abs(mat[static_cast<std::size_t>(col) * m_ + col]);
+      for (int r = col + 1; r < m_; ++r) {
+        const double cand = std::abs(mat[static_cast<std::size_t>(r) * m_ + col]);
+        if (cand > best) { best = cand; pivot_row = r; }
+      }
+      if (best < kPivotTolerance) return false;  // singular basis
+      if (pivot_row != col) {
+        for (int c = 0; c < m_; ++c) {
+          std::swap(mat[static_cast<std::size_t>(pivot_row) * m_ + c],
+                    mat[static_cast<std::size_t>(col) * m_ + c]);
+          std::swap(binv_[static_cast<std::size_t>(pivot_row) * m_ + c],
+                    binv_[static_cast<std::size_t>(col) * m_ + c]);
+        }
+      }
+      const double inv_pivot = 1.0 / mat[static_cast<std::size_t>(col) * m_ + col];
+      for (int c = 0; c < m_; ++c) {
+        mat[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
+        binv_[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
+      }
+      for (int r = 0; r < m_; ++r) {
+        if (r == col) continue;
+        const double factor = mat[static_cast<std::size_t>(r) * m_ + col];
+        if (factor == 0.0) continue;
+        for (int c = 0; c < m_; ++c) {
+          mat[static_cast<std::size_t>(r) * m_ + c] -=
+              factor * mat[static_cast<std::size_t>(col) * m_ + c];
+          binv_[static_cast<std::size_t>(r) * m_ + c] -=
+              factor * binv_[static_cast<std::size_t>(col) * m_ + c];
+        }
+      }
+    }
+    return true;
+  }
+
+  void ftran_column(ColumnView a, std::vector<double>& w) const override {
+    w.assign(m_, 0.0);
+    for (const auto& [r, coeff] : a) {
+      const double c = coeff;
+      for (int p = 0; p < m_; ++p) {
+        w[p] += binv_[static_cast<std::size_t>(p) * m_ + r] * c;
+      }
+    }
+  }
+
+  void ftran_dense(std::vector<double>& x) const override {
+    scratch_.assign(m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      double value = 0.0;
+      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+      for (int r = 0; r < m_; ++r) value += row[r] * x[r];
+      scratch_[p] = value;
+    }
+    x = scratch_;
+  }
+
+  void btran_dense(std::vector<double>& x) const override {
+    scratch_.assign(m_, 0.0);
+    for (int p = 0; p < m_; ++p) {
+      const double cb = x[p];
+      if (cb == 0.0) continue;
+      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+      for (int r = 0; r < m_; ++r) scratch_[r] += cb * row[r];
+    }
+    x = scratch_;
+  }
+
+  void btran_unit(int p, std::vector<double>& rho) const override {
+    const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
+    rho.assign(row, row + m_);
+  }
+
+  void update(int p, const std::vector<double>& w) override {
+    const double inv_pivot = 1.0 / w[p];
+    double* prow = binv_.data() + static_cast<std::size_t>(p) * m_;
+    for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
+    for (int q = 0; q < m_; ++q) {
+      if (q == p || w[q] == 0.0) continue;
+      double* row = binv_.data() + static_cast<std::size_t>(q) * m_;
+      const double factor = w[q];
+      for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
+    }
+  }
+
+  bool prefers_refactor() const override { return false; }
+
+ private:
+  int m_ = 0;
+  std::vector<double> binv_;
+  mutable std::vector<double> scratch_;
+};
+
+/// Sparse LU + product-form eta file (lp/factor.hpp).
+class SparseLuEngine final : public BasisEngine {
+ public:
+  bool refactor(const std::vector<ColumnView>& cols) override {
+    return factor_.factorize(static_cast<int>(cols.size()), cols);
+  }
+  void ftran_column(ColumnView a, std::vector<double>& w) const override {
+    factor_.ftran_column(a, w);
+  }
+  void ftran_dense(std::vector<double>& x) const override { factor_.ftran(x); }
+  void btran_dense(std::vector<double>& x) const override { factor_.btran(x); }
+  void btran_unit(int p, std::vector<double>& rho) const override {
+    factor_.btran_unit(p, rho);
+  }
+  void update(int p, const std::vector<double>& w) override {
+    factor_.append_eta(p, w);
+  }
+  bool prefers_refactor() const override { return factor_.prefers_refactor(); }
+
+ private:
+  BasisFactor factor_;
+};
+
+std::unique_ptr<BasisEngine> make_engine(SimplexEngine engine) {
+  if (engine == SimplexEngine::kDenseInverse) {
+    return std::make_unique<DenseInverseEngine>();
+  }
+  return std::make_unique<SparseLuEngine>();
+}
 
 /// Internal solver state over the computational form A z = 0 with
 /// columns [structural | slack | artificial].
@@ -35,6 +210,7 @@ class Simplex {
     m_ = model.num_rows();
     n_real_ = n_struct_ + m_;        // structural + slacks
     n_total_ = n_real_ + m_;         // + artificials
+    engine_ = make_engine(options.engine);
     build_columns();
     build_bounds();
   }
@@ -109,15 +285,34 @@ class Simplex {
  private:
   // ---- setup ----
 
+  /// Builds the computational-form matrix as one flat CSC arena
+  /// (col_entries_ sliced by col_start_). A solve constructs a Simplex
+  /// per call, so per-column vectors would mean ~n_total_ small
+  /// allocations on every solve — measurable against warm solves that
+  /// finish in a few dozen pivots.
   void build_columns() {
-    cols_.assign(n_total_, {});
+    col_start_.assign(n_total_ + 1, 0);
     for (int r = 0; r < m_; ++r) {
       for (const auto& [var, coeff] : model_.row(r).coefficients) {
-        if (coeff != 0.0) cols_[var].push_back({r, coeff});
+        if (coeff != 0.0) ++col_start_[var + 1];
       }
-      cols_[n_struct_ + r].push_back({r, -1.0});  // slack: a.x - s = 0
-      cols_[n_real_ + r].push_back({r, 1.0});     // artificial sign set at start
+      col_start_[n_struct_ + r + 1] = 1;  // slack
+      col_start_[n_real_ + r + 1] = 1;    // artificial
     }
+    for (int j = 0; j < n_total_; ++j) col_start_[j + 1] += col_start_[j];
+    col_entries_.resize(col_start_[n_total_]);
+    std::vector<int> cursor(col_start_.begin(), col_start_.end() - 1);
+    for (int r = 0; r < m_; ++r) {
+      for (const auto& [var, coeff] : model_.row(r).coefficients) {
+        if (coeff != 0.0) col_entries_[cursor[var]++] = {r, coeff};
+      }
+      col_entries_[cursor[n_struct_ + r]++] = {r, -1.0};  // slack: a.x - s = 0
+      col_entries_[cursor[n_real_ + r]++] = {r, 1.0};  // artificial sign set at start
+    }
+  }
+
+  ColumnView col(int j) const {
+    return {col_entries_.data() + col_start_[j], col_start_[j + 1] - col_start_[j]};
   }
 
   void build_bounds() {
@@ -174,13 +369,13 @@ class Simplex {
     std::vector<double> residual(m_, 0.0);
     for (int j = 0; j < n_real_; ++j) {
       if (val_[j] == 0.0) continue;
-      for (const auto& [r, coeff] : cols_[j]) residual[r] -= coeff * val_[j];
+      for (const auto& [r, coeff] : col(j)) residual[r] -= coeff * val_[j];
     }
     basis_.resize(m_);
     needs_phase1_ = false;
     for (int r = 0; r < m_; ++r) {
       const int art = n_real_ + r;
-      cols_[art][0].second = residual[r] >= 0.0 ? 1.0 : -1.0;
+      col_entries_[col_start_[art]].second = residual[r] >= 0.0 ? 1.0 : -1.0;
       val_[art] = std::abs(residual[r]);
       status_[art] = VarStatus::kBasic;
       basis_[r] = art;
@@ -255,13 +450,13 @@ class Simplex {
   ///   nullopt         — not dual feasible / too many degenerate pivots:
   ///                     caller should cold start.
   std::optional<SolveStatus> dual_iterate(const Stopwatch& watch) {
-    std::vector<double> y, d(n_total_, 0.0), w;
+    std::vector<double> y, rho, w;
     // Initial dual feasibility check against phase-2 costs.
     compute_duals(y);
     for (int j = 0; j < n_total_; ++j) {
       if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
       double dj = cost_[j];
-      for (const auto& [r, coeff] : cols_[j]) dj -= y[r] * coeff;
+      for (const auto& [r, coeff] : col(j)) dj -= y[r] * coeff;
       const double slack = 1e-6;
       if ((status_[j] == VarStatus::kAtLower && dj < -slack) ||
           (status_[j] == VarStatus::kAtUpper && dj > slack) ||
@@ -314,7 +509,7 @@ class Simplex {
       }
 
       compute_duals(y);
-      const double* rho = binv_.data() + static_cast<std::size_t>(p_leave) * m_;
+      engine_->btran_unit(p_leave, rho);
 
       // Entering variable: dual ratio test, min |d_j / alpha_j| over the
       // columns that can move the leaving variable toward its bound.
@@ -324,7 +519,7 @@ class Simplex {
       for (int j = 0; j < n_total_; ++j) {
         if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
         double alpha = 0.0;
-        for (const auto& [r, coeff] : cols_[j]) alpha += rho[r] * coeff;
+        for (const auto& [r, coeff] : col(j)) alpha += rho[r] * coeff;
         if (std::abs(alpha) < kPivotTolerance) continue;
         bool eligible;
         if (above_upper) {
@@ -340,7 +535,7 @@ class Simplex {
         }
         if (!eligible) continue;
         double dj = cost_[j];
-        for (const auto& [r, coeff] : cols_[j]) dj -= y[r] * coeff;
+        for (const auto& [r, coeff] : col(j)) dj -= y[r] * coeff;
         const double ratio = std::abs(dj / alpha);
         if (ratio < best_ratio - 1e-12 ||
             (ratio < best_ratio + 1e-12 && enter >= 0 &&
@@ -376,17 +571,10 @@ class Simplex {
       status_[enter] = VarStatus::kBasic;
       basis_[p_leave] = enter;
 
-      const double inv_pivot = 1.0 / w[p_leave];
-      double* prow = binv_.data() + static_cast<std::size_t>(p_leave) * m_;
-      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
-      for (int p = 0; p < m_; ++p) {
-        if (p == p_leave || w[p] == 0.0) continue;
-        double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
-        const double factor = w[p];
-        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
-      }
+      engine_->update(p_leave, w);
       verified_terminal = false;
-      if (++pivots_since_refactor >= options_.refactor_interval) {
+      if (++pivots_since_refactor >= options_.refactor_interval ||
+          engine_->prefers_refactor()) {
         pivots_since_refactor = 0;
         if (!refactor()) return std::nullopt;
         compute_basic_values();
@@ -475,7 +663,7 @@ class Simplex {
         "Simplex: could not verify primal feasibility at the optimum");
   }
 
-  // ---- basis linear algebra (dense inverse) ----
+  // ---- basis linear algebra (through the engine) ----
 
   /// Deep basis/bound invariants (Debug and sanitizer builds only):
   /// exactly m_ basic variables, basis_ and status_ agree, lb <= ub
@@ -527,49 +715,9 @@ class Simplex {
   }
 
   bool refactor() {
-    // Gauss-Jordan inversion of the basis matrix with partial pivoting.
-    std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int p = 0; p < m_; ++p) {
-      for (const auto& [r, coeff] : cols_[basis_[p]]) {
-        mat[static_cast<std::size_t>(r) * m_ + p] = coeff;
-      }
-    }
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
-    for (int i = 0; i < m_; ++i) binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
-    for (int col = 0; col < m_; ++col) {
-      int pivot_row = col;
-      double best = std::abs(mat[static_cast<std::size_t>(col) * m_ + col]);
-      for (int r = col + 1; r < m_; ++r) {
-        const double cand = std::abs(mat[static_cast<std::size_t>(r) * m_ + col]);
-        if (cand > best) { best = cand; pivot_row = r; }
-      }
-      if (best < kPivotTolerance) return false;  // singular basis
-      if (pivot_row != col) {
-        for (int c = 0; c < m_; ++c) {
-          std::swap(mat[static_cast<std::size_t>(pivot_row) * m_ + c],
-                    mat[static_cast<std::size_t>(col) * m_ + c]);
-          std::swap(binv_[static_cast<std::size_t>(pivot_row) * m_ + c],
-                    binv_[static_cast<std::size_t>(col) * m_ + c]);
-        }
-      }
-      const double inv_pivot = 1.0 / mat[static_cast<std::size_t>(col) * m_ + col];
-      for (int c = 0; c < m_; ++c) {
-        mat[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
-        binv_[static_cast<std::size_t>(col) * m_ + c] *= inv_pivot;
-      }
-      for (int r = 0; r < m_; ++r) {
-        if (r == col) continue;
-        const double factor = mat[static_cast<std::size_t>(r) * m_ + col];
-        if (factor == 0.0) continue;
-        for (int c = 0; c < m_; ++c) {
-          mat[static_cast<std::size_t>(r) * m_ + c] -=
-              factor * mat[static_cast<std::size_t>(col) * m_ + c];
-          binv_[static_cast<std::size_t>(r) * m_ + c] -=
-              factor * binv_[static_cast<std::size_t>(col) * m_ + c];
-        }
-      }
-    }
-    return true;
+    basis_cols_.resize(m_);
+    for (int p = 0; p < m_; ++p) basis_cols_[p] = col(basis_[p]);
+    return engine_->refactor(basis_cols_);
   }
 
   void compute_basic_values() {
@@ -577,36 +725,26 @@ class Simplex {
     std::vector<double> rhs(m_, 0.0);
     for (int j = 0; j < n_total_; ++j) {
       if (status_[j] == VarStatus::kBasic || val_[j] == 0.0) continue;
-      for (const auto& [r, coeff] : cols_[j]) rhs[r] -= coeff * val_[j];
+      for (const auto& [r, coeff] : col(j)) rhs[r] -= coeff * val_[j];
     }
-    for (int p = 0; p < m_; ++p) {
-      double value = 0.0;
-      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
-      for (int r = 0; r < m_; ++r) value += row[r] * rhs[r];
-      val_[basis_[p]] = value;
-    }
+    engine_->ftran_dense(rhs);
+    for (int p = 0; p < m_; ++p) val_[basis_[p]] = rhs[p];
   }
 
   /// w = B^{-1} a_j.
   void ftran(int j, std::vector<double>& w) const {
-    w.assign(m_, 0.0);
-    for (const auto& [r, coeff] : cols_[j]) {
-      const double c = coeff;
-      for (int p = 0; p < m_; ++p) {
-        w[p] += binv_[static_cast<std::size_t>(p) * m_ + r] * c;
-      }
-    }
+    engine_->ftran_column(col(j), w);
   }
 
   /// y = (c_B^T B^{-1})^T.
   void compute_duals(std::vector<double>& y) const {
     y.assign(m_, 0.0);
+    bool any = false;
     for (int p = 0; p < m_; ++p) {
       const double cb = cost_[basis_[p]];
-      if (cb == 0.0) continue;
-      const double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
-      for (int r = 0; r < m_; ++r) y[r] += cb * row[r];
+      if (cb != 0.0) { y[p] = cb; any = true; }
     }
+    if (any) engine_->btran_dense(y);
   }
 
   // ---- main loop ----
@@ -625,11 +763,13 @@ class Simplex {
       int entering = -1;
       int entering_dir = 0;
       double best_violation = options_.optimality_tolerance;
-      for (int j = 0; j < n_total_; ++j) {
-        if (status_[j] == VarStatus::kBasic) continue;
-        if (lb_[j] == ub_[j]) continue;  // fixed (incl. retired artificials)
+      // Prices column j; returns true when Bland's rule selected it and
+      // the scan must stop immediately.
+      auto price = [&](int j) {
+        if (status_[j] == VarStatus::kBasic) return false;
+        if (lb_[j] == ub_[j]) return false;  // fixed (incl. retired artificials)
         double d = cost_[j];
-        for (const auto& [r, coeff] : cols_[j]) d -= y[r] * coeff;
+        for (const auto& [r, coeff] : col(j)) d -= y[r] * coeff;
         int dir = 0;
         double violation = 0.0;
         if (status_[j] == VarStatus::kAtLower && d < -options_.optimality_tolerance) {
@@ -640,13 +780,36 @@ class Simplex {
                    std::abs(d) > options_.optimality_tolerance) {
           dir = d < 0.0 ? +1 : -1; violation = std::abs(d);
         }
-        if (dir == 0) continue;
-        if (bland) { entering = j; entering_dir = dir; break; }
+        if (dir == 0) return false;
+        if (bland) { entering = j; entering_dir = dir; return true; }
         if (violation > best_violation) {
           best_violation = violation;
           entering = j;
           entering_dir = dir;
         }
+        return false;
+      };
+      const bool partial = !bland && options_.partial_pricing_threshold > 0 &&
+                           n_total_ > options_.partial_pricing_threshold;
+      if (!partial) {
+        for (int j = 0; j < n_total_; ++j) {
+          if (price(j)) break;
+        }
+      } else {
+        // Cyclic partial pricing: scan windows from a rotating cursor
+        // and pivot on the first window holding a candidate. Optimality
+        // is still only declared after a full sweep finds nothing, so
+        // this changes the pivot order but never the verdict.
+        const int window = std::max(64, n_total_ / 16);
+        int j = pricing_cursor_ % n_total_;
+        for (int scanned = 1; scanned <= n_total_; ++scanned) {
+          price(j);
+          j = j + 1 == n_total_ ? 0 : j + 1;
+          if (entering >= 0 && (scanned % window == 0 || scanned == n_total_)) {
+            break;
+          }
+        }
+        pricing_cursor_ = j;
       }
       if (entering < 0) return SolveStatus::kOptimal;
 
@@ -712,18 +875,10 @@ class Simplex {
       status_[entering] = VarStatus::kBasic;
       basis_[leaving_pos] = entering;
 
-      // Product-form update of the dense inverse.
-      const double inv_pivot = 1.0 / leaving_pivot;
-      double* prow = binv_.data() + static_cast<std::size_t>(leaving_pos) * m_;
-      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
-      for (int p = 0; p < m_; ++p) {
-        if (p == leaving_pos || w[p] == 0.0) continue;
-        double* row = binv_.data() + static_cast<std::size_t>(p) * m_;
-        const double factor = w[p];
-        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
-      }
+      engine_->update(leaving_pos, w);
 
-      if (++pivots_since_refactor >= options_.refactor_interval) {
+      if (++pivots_since_refactor >= options_.refactor_interval ||
+          engine_->prefers_refactor()) {
         pivots_since_refactor = 0;
         if (!refactor()) {
           throw std::logic_error("Simplex: basis became singular");
@@ -738,15 +893,16 @@ class Simplex {
   /// degenerate pivots so the exported basis is expressible over
   /// structural + slack variables and therefore warm-startable.
   void purge_artificials() {
+    std::vector<double> rho;
     for (int p = 0; p < m_; ++p) {
       if (basis_[p] < n_real_) continue;
-      const double* rho = binv_.data() + static_cast<std::size_t>(p) * m_;
+      engine_->btran_unit(p, rho);
       int enter = -1;
       double enter_pivot = 0.0;
       for (int j = 0; j < n_real_; ++j) {
         if (status_[j] == VarStatus::kBasic) continue;
         double pivot = 0.0;
-        for (const auto& [r, coeff] : cols_[j]) pivot += rho[r] * coeff;
+        for (const auto& [r, coeff] : col(j)) pivot += rho[r] * coeff;
         if (std::abs(pivot) > 1e-7 && std::abs(pivot) > std::abs(enter_pivot)) {
           enter = j;
           enter_pivot = pivot;
@@ -762,15 +918,7 @@ class Simplex {
       val_[leave] = 0.0;
       status_[enter] = VarStatus::kBasic;
       basis_[p] = enter;
-      const double inv_pivot = 1.0 / w[p];
-      double* prow = binv_.data() + static_cast<std::size_t>(p) * m_;
-      for (int c = 0; c < m_; ++c) prow[c] *= inv_pivot;
-      for (int q = 0; q < m_; ++q) {
-        if (q == p || w[q] == 0.0) continue;
-        double* row = binv_.data() + static_cast<std::size_t>(q) * m_;
-        const double factor = w[q];
-        for (int c = 0; c < m_; ++c) row[c] -= factor * prow[c];
-      }
+      engine_->update(p, w);
     }
   }
 
@@ -813,17 +961,22 @@ class Simplex {
   int n_real_ = 0;
   int n_total_ = 0;
   bool needs_phase1_ = true;
-  // True while binv_ is freshly factorized AND the basic values were
-  // computed from it with no incremental (product-form / step) updates
-  // since — i.e. val_ can be trusted for terminal verdicts.
+  // True while the basis is freshly factorized AND the basic values
+  // were computed from it with no incremental (product-form / step)
+  // updates since — i.e. val_ can be trusted for terminal verdicts.
   bool factor_fresh_ = false;
   long iterations_ = 0;
+  int pricing_cursor_ = 0;  // partial-pricing rotation state
 
-  std::vector<std::vector<std::pair<int, double>>> cols_;
+  // Computational-form matrix in flat CSC layout: column j's (row,
+  // coeff) entries are col_entries_[col_start_[j] .. col_start_[j+1]).
+  std::vector<std::pair<int, double>> col_entries_;
+  std::vector<int> col_start_;
   std::vector<double> lb_, ub_, cost_, val_;
   std::vector<VarStatus> status_;
   std::vector<int> basis_;       // variable index per basis position
-  std::vector<double> binv_;     // dense m x m basis inverse
+  std::unique_ptr<BasisEngine> engine_;
+  std::vector<ColumnView> basis_cols_;  // refactor() scratch
 };
 
 }  // namespace

@@ -4,11 +4,16 @@
 // the computational form  A z = 0  by introducing one slack per row
 // (a_r.x - s_r = 0 with s_r in [lo_r, hi_r]). Phase 1 starts from an
 // all-artificial basis and minimizes the artificial sum; phase 2 fixes
-// artificials to zero and optimizes the real objective. The basis
-// inverse is kept dense and refactorized periodically (and on pivots
-// whose residual check fails), Dantzig pricing with an automatic Bland
-// fallback guards against cycling, and the ratio test supports bound
-// flips.
+// artificials to zero and optimizes the real objective. Basis linear
+// algebra goes through a pluggable engine: the default keeps a sparse
+// LU factorization with a product-form eta file (lp/factor.hpp) —
+// FTRAN/BTRAN in O(fill), refactorization in O(fill^2)-ish — and the
+// legacy dense m x m inverse survives behind
+// SimplexOptions::engine = kDenseInverse for differential testing.
+// Pricing is Dantzig on small models and cyclic partial pricing on
+// large ones (optimality is only declared after a full failed sweep),
+// with an automatic Bland fallback against cycling; the ratio test
+// supports bound flips.
 //
 // Scale target: the NeuroPlan plan-evaluator feasibility LPs (hundreds
 // of rows, a few thousand columns) and the pruned planning ILPs solved
@@ -50,17 +55,42 @@ struct Basis {
   bool empty() const { return statuses.empty(); }
 };
 
+/// Basis linear-algebra backend.
+enum class SimplexEngine {
+  /// Sparse LU + product-form eta file (lp/factor.hpp). Default: the
+  /// scenario LPs are extremely sparse, so FTRAN/BTRAN cost O(fill)
+  /// instead of O(m^2) and refactorization is far below O(m^3).
+  kSparseLu,
+  /// Dense m x m basis inverse, updated in product form. Retained as
+  /// the differential-testing reference for the sparse engine.
+  kDenseInverse,
+};
+
+const char* to_string(SimplexEngine engine);
+
 struct SimplexOptions {
   double feasibility_tolerance = 1e-7;
   double optimality_tolerance = 1e-7;
   long max_iterations = 200000;
   double time_limit_seconds = kInfinity;
   const Basis* warm_start = nullptr;
-  /// Refactorize the basis inverse every this many pivots. Product-form
+  /// Refactorize the basis every this many pivots. Product-form
   /// updates stay accurate for hundreds of pivots on well-scaled
-  /// models; refactorization is O(m^3), so a small interval dominates
-  /// solve time on LPs with many rows.
+  /// models. The sparse engine additionally refactorizes early when its
+  /// eta file outgrows the factorization (refactoring is cheap there);
+  /// for the dense engine refactorization is O(m^3), so a small
+  /// interval dominates solve time on LPs with many rows.
   int refactor_interval = 400;
+  SimplexEngine engine = SimplexEngine::kSparseLu;
+  /// Cyclic partial pricing on models with more than this many columns
+  /// (structural + slack + artificial): each iteration scans a window
+  /// from a rotating cursor and takes the window's best candidate,
+  /// falling through to the full sweep only when the window is empty —
+  /// optimality is still only declared after a complete failed sweep.
+  /// <= 0 disables partial pricing (always full Dantzig). The default
+  /// covers the scenario feasibility LPs, where a full Dantzig sweep
+  /// would dominate the per-iteration cost of the sparse engine.
+  int partial_pricing_threshold = 128;
 };
 
 /// Which start the solver ended up using (telemetry for tuning).

@@ -5,6 +5,7 @@
 #include <memory>
 #include <queue>
 
+#include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -309,6 +310,21 @@ class BranchAndBound {
 
   void accept_incumbent(MilpResult& result, std::vector<double> x, double objective) {
     if (result.has_incumbent && objective >= result.objective) return;
+#if NP_CHECKS_ENABLED
+    // Incumbent contract: for this minimization the incumbent objective
+    // must only ever improve, and a point accepted as integral must
+    // actually be integral up to the branching tolerance before the
+    // exact snap below.
+    NP_ASSERT(std::isfinite(objective),
+              "milp: non-finite incumbent objective ", objective);
+    NP_ASSERT(!result.has_incumbent || objective < result.objective,
+              "milp: incumbent worsened: ", result.objective, " -> ", objective);
+    for (int j : integer_vars_) {
+      NP_ASSERT(std::abs(x[j] - std::round(x[j])) <=
+                    options_.integrality_tolerance + 1e-9,
+                "milp: non-integral incumbent coordinate ", j, " = ", x[j]);
+    }
+#endif
     // Snap integer coordinates exactly.
     for (int j : integer_vars_) x[j] = std::round(x[j]);
     result.has_incumbent = true;

@@ -41,6 +41,7 @@ CheckResult PlanEvaluator::check_scenario(int scenario,
     result.feasible = check.feasible;
     result.unserved_gbps = check.unserved_gbps;
     result.lp_iterations = check.lp_iterations;
+    result.lp_seconds = check.solve_seconds;
   } else {
     ScenarioLp lp = build_scenario_lp(topology_, scenario, aggregate);
     set_plan_capacities(lp, topology_, total_units);
@@ -48,6 +49,7 @@ CheckResult PlanEvaluator::check_scenario(int scenario,
     result.feasible = check.feasible;
     result.unserved_gbps = check.unserved_gbps;
     result.lp_iterations = check.lp_iterations;
+    result.lp_seconds = check.solve_seconds;
   }
   return result;
 }
@@ -78,7 +80,9 @@ CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
   for (int scenario = start; scenario < num_scenarios(); ++scenario) {
     const CheckResult one = check_scenario(scenario, total_units);
     aggregate.lp_iterations += one.lp_iterations;
+    aggregate.lp_seconds += one.lp_seconds;
     total_lp_iterations_ += one.lp_iterations;
+    total_lp_seconds_ += one.lp_seconds;
     ++aggregate.scenarios_checked;
     if (!one.feasible) {
       aggregate.feasible = false;

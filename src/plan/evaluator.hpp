@@ -41,6 +41,10 @@ struct CheckResult {
   double unserved_gbps = 0.0;
   int scenarios_checked = 0;
   long lp_iterations = 0;
+  /// Seconds spent inside lp::solve for this check. Sequential
+  /// evaluators report wall-clock; the parallel evaluator sums across
+  /// worker threads (CPU-seconds of LP work, not elapsed time).
+  double lp_seconds = 0.0;
 };
 
 class PlanEvaluator {
@@ -65,6 +69,9 @@ class PlanEvaluator {
   /// Cumulative simplex iterations since construction (efficiency metric).
   long total_lp_iterations() const { return total_lp_iterations_; }
 
+  /// Cumulative seconds inside lp::solve since construction.
+  double total_lp_seconds() const { return total_lp_seconds_; }
+
  private:
   CheckResult check_scenario(int scenario, const std::vector<int>& total_units);
 
@@ -75,6 +82,7 @@ class PlanEvaluator {
   std::vector<std::optional<ScenarioLp>> cached_;
   int next_unchecked_ = 0;  ///< kStateful: scenarios before this survived
   long total_lp_iterations_ = 0;
+  double total_lp_seconds_ = 0.0;
   /// Units of the previous check since reset(); tracked only when the
   /// contract layer is compiled in, to enforce the kStateful
   /// capacity-monotonicity precondition (§5).

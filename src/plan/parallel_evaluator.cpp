@@ -19,6 +19,7 @@ ParallelPlanEvaluator::ParallelPlanEvaluator(const topo::Topology& topology,
     groups_[scenario % threads_].push_back(scenario);
   }
   for (int t = 0; t < threads_; ++t) cached_[t].resize(groups_[t].size());
+  lp_options_.max_iterations = 1000000;
   pool_ = std::make_unique<util::ThreadPool>(threads_ - 1);
 }
 
@@ -35,10 +36,9 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
   std::vector<int> violated_per_thread(threads_, -1);
   std::vector<double> unserved_per_thread(threads_, 0.0);
   std::vector<long> iterations_per_thread(threads_, 0);
+  std::vector<double> seconds_per_thread(threads_, 0.0);
 
   auto worker = [&](int t) {
-    lp::SimplexOptions options;
-    options.max_iterations = 1000000;
     for (std::size_t k = 0; k < groups_[t].size(); ++k) {
       const int scenario = groups_[t][k];
       if (!cached_[t][k].has_value()) {
@@ -46,8 +46,9 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
       }
       ScenarioLp& lp = *cached_[t][k];
       set_plan_capacities(lp, topology_, total_units);
-      const ScenarioCheck check = solve_scenario(lp, options, /*warm=*/true);
+      const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/true);
       iterations_per_thread[t] += check.lp_iterations;
+      seconds_per_thread[t] += check.solve_seconds;
       if (!check.feasible &&
           (violated_per_thread[t] < 0 || scenario < violated_per_thread[t])) {
         violated_per_thread[t] = scenario;
@@ -65,6 +66,7 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
   result.scenarios_checked = num_scenarios();
   for (int t = 0; t < threads_; ++t) {
     result.lp_iterations += iterations_per_thread[t];
+    result.lp_seconds += seconds_per_thread[t];
     if (violated_per_thread[t] >= 0 &&
         (result.violated_scenario < 0 ||
          violated_per_thread[t] < result.violated_scenario)) {
@@ -74,6 +76,7 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
   }
   result.feasible = result.violated_scenario < 0;
   total_lp_iterations_ += result.lp_iterations;
+  total_lp_seconds_ += result.lp_seconds;
   return result;
 }
 

@@ -43,9 +43,18 @@ class ParallelPlanEvaluator {
   /// Cumulative simplex iterations since construction (efficiency metric).
   long total_lp_iterations() const { return total_lp_iterations_; }
 
+  /// Cumulative seconds inside lp::solve since construction, summed
+  /// across worker threads (CPU-seconds of LP work, not elapsed time).
+  double total_lp_seconds() const { return total_lp_seconds_; }
+
  private:
   const topo::Topology& topology_;
   int threads_;
+  /// Solver options shared by all workers, configured once at
+  /// construction — workers only read it, so cross-thread sharing is
+  /// safe, and per-model state (warm bases, cached scenario LPs) lives
+  /// in cached_ and survives across check() calls.
+  lp::SimplexOptions lp_options_;
   /// cached_[t] holds thread t's scenario models (lazily built).
   std::vector<std::vector<std::optional<ScenarioLp>>> cached_;
   std::vector<std::vector<int>> groups_;  // thread -> scenario indices
@@ -53,6 +62,7 @@ class ParallelPlanEvaluator {
   /// group 0 itself via run_all, so threads_ groups solve concurrently.
   std::unique_ptr<util::ThreadPool> pool_;
   long total_lp_iterations_ = 0;
+  double total_lp_seconds_ = 0.0;
 };
 
 }  // namespace np::plan

@@ -174,10 +174,12 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
     options.warm_start = nullptr;
     lp::Solution retry = lp::solve(lp.model, options);
     retry.iterations += solution.iterations;
+    retry.solve_seconds += solution.solve_seconds;
     solution = std::move(retry);
   }
   ScenarioCheck check;
   check.lp_iterations = solution.iterations;
+  check.solve_seconds = solution.solve_seconds;
   if (solution.status != lp::SolveStatus::kOptimal) {
     // The elastic LP is feasible by construction; a non-optimal status
     // means a resource limit was hit. Report as infeasible-with-all-

@@ -52,6 +52,9 @@ struct ScenarioCheck {
   bool feasible = false;
   double unserved_gbps = 0.0;
   long lp_iterations = 0;
+  /// Wall-clock seconds spent inside lp::solve (including a cold retry
+  /// after a failed warm start).
+  double solve_seconds = 0.0;
 };
 
 /// Solve the elastic LP (optionally warm-started from lp.basis) and

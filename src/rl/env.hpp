@@ -91,6 +91,13 @@ class PlanningEnv {
                                : sequential_evaluator_->total_lp_iterations();
   }
 
+  /// Cumulative seconds inside lp::solve (CPU-seconds when the parallel
+  /// evaluator is active — see ParallelPlanEvaluator::total_lp_seconds).
+  double evaluator_lp_seconds() const {
+    return parallel_evaluator_ ? parallel_evaluator_->total_lp_seconds()
+                               : sequential_evaluator_->total_lp_seconds();
+  }
+
  private:
   const topo::Topology& topology_;
   EnvConfig config_;

@@ -51,6 +51,20 @@ RolloutWorkers::RolloutWorkers(const topo::Topology& topology,
   pool_ = std::make_unique<util::ThreadPool>(std::max(0, participants - 1));
 }
 
+long RolloutWorkers::total_lp_iterations() const {
+  if (borrowed_env_ != nullptr) return borrowed_env_->evaluator_lp_iterations();
+  long total = 0;
+  for (const auto& env : envs_) total += env->evaluator_lp_iterations();
+  return total;
+}
+
+double RolloutWorkers::total_lp_seconds() const {
+  if (borrowed_env_ != nullptr) return borrowed_env_->evaluator_lp_seconds();
+  double total = 0.0;
+  for (const auto& env : envs_) total += env->evaluator_lp_seconds();
+  return total;
+}
+
 std::vector<WorkerRollout> RolloutWorkers::collect(int total_steps) {
   if (total_steps < 1) {
     throw std::invalid_argument("RolloutWorkers::collect: total_steps < 1");

@@ -94,6 +94,14 @@ class RolloutWorkers {
   int workers() const { return workers_; }
   bool borrowed() const { return borrowed_env_ != nullptr; }
 
+  /// Cumulative simplex iterations across every env this object steps
+  /// (the borrowed env, or all owned envs) — the LP share of rollout
+  /// work for throughput accounting.
+  long total_lp_iterations() const;
+  /// Matching seconds spent inside lp::solve (summed across workers, so
+  /// CPU-seconds rather than wall-clock in owned mode).
+  double total_lp_seconds() const;
+
  private:
   WorkerRollout collect_serial(PlanningEnv& env, Rng& rng, int steps);
   std::vector<WorkerRollout> collect_lockstep(int total_steps);

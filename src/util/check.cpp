@@ -121,4 +121,78 @@ void check_monotone_units(const std::vector<int>& previous,
   }
 }
 
+void check_lu(int dim,
+              const std::vector<std::vector<std::pair<int, double>>>& lower,
+              const std::vector<std::vector<std::pair<int, double>>>& upper,
+              const std::vector<double>& diag,
+              const std::vector<std::vector<std::pair<int, double>>>& permuted_columns,
+              double tolerance, const char* where) {
+  const std::size_t n = static_cast<std::size_t>(dim);
+  if (lower.size() != n || upper.size() != n || diag.size() != n ||
+      permuted_columns.size() != n) {
+    fail(where, detail::concat("LU shape mismatch for dim ", dim, ": L ",
+                               lower.size(), ", U ", upper.size(), ", diag ",
+                               diag.size(), ", columns ",
+                               permuted_columns.size()));
+  }
+  for (int k = 0; k < dim; ++k) {
+    if (!std::isfinite(diag[k]) || diag[k] == 0.0) {
+      fail(where, detail::concat("U diagonal entry ", k, " = ", diag[k],
+                                 " (singular or non-finite)"));
+    }
+    for (const auto& [i, v] : lower[k]) {
+      if (i <= k || i >= dim) {
+        fail(where, detail::concat("L entry at (", i, ", ", k,
+                                   ") outside the strict lower triangle"));
+      }
+      if (!std::isfinite(v)) {
+        fail(where, detail::concat("non-finite L entry at (", i, ", ", k, ")"));
+      }
+    }
+    for (const auto& [i, v] : upper[k]) {
+      if (i < 0 || i >= k) {
+        fail(where, detail::concat("U entry at (", i, ", ", k,
+                                   ") outside the strict upper triangle"));
+      }
+      if (!std::isfinite(v)) {
+        fail(where, detail::concat("non-finite U entry at (", i, ", ", k, ")"));
+      }
+    }
+  }
+  // Residual P·B·Q - L·U, column by column: the reconstructed column
+  // sum_i U_ik * L[:, i] (L's diagonal implicit 1) must match the
+  // permuted basis column.
+  std::vector<double> work(n, 0.0);
+  std::vector<int> touched;
+  for (int k = 0; k < dim; ++k) {
+    touched.clear();
+    double scale = 1.0;
+    auto accumulate = [&](int i, double u) {
+      work[i] += u;
+      touched.push_back(i);
+      for (const auto& [r, v] : lower[i]) {
+        work[r] += v * u;
+        touched.push_back(r);
+      }
+    };
+    for (const auto& [i, u] : upper[k]) accumulate(i, u);
+    accumulate(k, diag[k]);
+    for (const auto& [r, v] : permuted_columns[k]) {
+      work[r] -= v;
+      touched.push_back(r);
+      scale = std::max(scale, std::abs(v));
+    }
+    for (int r : touched) {
+      if (std::abs(work[r]) > tolerance * scale) {
+        const double residual = work[r];
+        for (int t : touched) work[t] = 0.0;
+        fail(where, detail::concat("P·B·Q - L·U residual ", residual,
+                                   " at position (", r, ", ", k,
+                                   ") exceeds ", tolerance, " * ", scale));
+      }
+    }
+    for (int r : touched) work[r] = 0.0;
+  }
+}
+
 }  // namespace np::util

@@ -76,6 +76,22 @@ void check_action_mask(const std::vector<std::uint8_t>& mask,
 void check_monotone_units(const std::vector<int>& previous,
                           const std::vector<int>& current, const char* where);
 
+/// Sparse LU factorization invariants (basis refactorization in
+/// np::lp): all index spaces are pivot positions 0..dim-1. `lower[k]`
+/// holds L's strictly-below-diagonal entries of column k (unit diagonal
+/// implicit), `upper[k]` U's strictly-above-diagonal entries, `diag[k]`
+/// U's diagonal. Checks L unit-lower-triangular, U's diagonal finite
+/// and nonsingular, and the residual P·B·Q - L·U: each reconstructed
+/// column must match `permuted_columns[k]` (the basis column pivoted at
+/// step k, rows mapped to pivot positions) within `tolerance` relative
+/// to the column's magnitude.
+void check_lu(int dim,
+              const std::vector<std::vector<std::pair<int, double>>>& lower,
+              const std::vector<std::vector<std::pair<int, double>>>& upper,
+              const std::vector<double>& diag,
+              const std::vector<std::vector<std::pair<int, double>>>& permuted_columns,
+              double tolerance, const char* where);
+
 namespace detail {
 template <class... Args>
 std::string concat(const Args&... args) {
@@ -107,6 +123,9 @@ std::string concat(const Args&... args) {
   ::np::util::check_action_mask((mask), (headroom), (max_units), (where))
 #define NP_CHECK_MONOTONE_UNITS(previous, current, where) \
   ::np::util::check_monotone_units((previous), (current), (where))
+#define NP_CHECK_LU(dim, lower, upper, diag, permuted_columns, tolerance, where) \
+  ::np::util::check_lu((dim), (lower), (upper), (diag), (permuted_columns),      \
+                       (tolerance), (where))
 
 #else
 
@@ -116,5 +135,7 @@ std::string concat(const Args&... args) {
 #define NP_CHECK_FINITE(data, count, where) ((void)0)
 #define NP_CHECK_ACTION_MASK(mask, headroom, max_units, where) ((void)0)
 #define NP_CHECK_MONOTONE_UNITS(previous, current, where) ((void)0)
+#define NP_CHECK_LU(dim, lower, upper, diag, permuted_columns, tolerance, where) \
+  ((void)0)
 
 #endif  // NP_CHECKS_ENABLED

@@ -160,6 +160,54 @@ TEST(CheckMacros, StatefulEvaluatorRejectsCapacityDecreaseWhenEnabled) {
   EXPECT_NO_THROW(eval.check(decreased));
 }
 
+// ---- LU factorization validator ----
+
+namespace lu {
+// Hand-computed factorization of B = [[2, 1], [1, 3]] with identity
+// permutations: L = [[1, 0], [.5, 1]], U = [[2, 1], [0, 2.5]].
+using Cols = std::vector<std::vector<std::pair<int, double>>>;
+const Cols kLower = {{{1, 0.5}}, {}};
+const Cols kUpper = {{}, {{0, 1.0}}};
+const std::vector<double> kDiag = {2.0, 2.5};
+const Cols kColumns = {{{0, 2.0}, {1, 1.0}}, {{0, 1.0}, {1, 3.0}}};
+}  // namespace lu
+
+TEST(CheckValidators, LuAcceptsValidFactorization) {
+  EXPECT_NO_THROW(util::check_lu(2, lu::kLower, lu::kUpper, lu::kDiag,
+                                 lu::kColumns, 1e-9, "test"));
+}
+
+TEST(CheckValidators, LuRejectsSingularOrNonFiniteDiagonal) {
+  for (const double bad : {0.0, std::nan("")}) {
+    std::vector<double> diag = lu::kDiag;
+    diag[1] = bad;
+    EXPECT_THROW(
+        util::check_lu(2, lu::kLower, lu::kUpper, diag, lu::kColumns, 1e-9, "test"),
+        ContractViolation);
+  }
+}
+
+TEST(CheckValidators, LuRejectsEntriesOutsideStrictTriangles) {
+  lu::Cols lower = lu::kLower;
+  lower[1].push_back({1, 0.25});  // on-diagonal entry in L
+  EXPECT_THROW(
+      util::check_lu(2, lower, lu::kUpper, lu::kDiag, lu::kColumns, 1e-9, "test"),
+      ContractViolation);
+  lu::Cols upper = lu::kUpper;
+  upper[0].push_back({1, 0.25});  // below-diagonal entry in U
+  EXPECT_THROW(
+      util::check_lu(2, lu::kLower, upper, lu::kDiag, lu::kColumns, 1e-9, "test"),
+      ContractViolation);
+}
+
+TEST(CheckValidators, LuRejectsResidualMismatch) {
+  lu::Cols columns = lu::kColumns;
+  columns[1][1].second += 0.01;  // L·U no longer reproduces this column
+  EXPECT_THROW(
+      util::check_lu(2, lu::kLower, lu::kUpper, lu::kDiag, columns, 1e-9, "test"),
+      ContractViolation);
+}
+
 TEST(CheckMacros, EnvMaskAndCsrPostconditionsHoldOnHealthyPaths) {
   // Positive control: the instrumented hot paths must not fire on
   // well-formed inputs, in any build.

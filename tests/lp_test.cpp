@@ -568,5 +568,88 @@ TEST_P(LargerRandomLp, FeasibleAndNoWorseThanCenterPoint) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, LargerRandomLp, ::testing::Range(0u, 25u));
 
+// Every core verdict and the warm-start contract must hold under both
+// basis engines — the tests above run the default (sparse LU); this
+// fixture re-runs the essentials with the engine pinned explicitly, so
+// the dense-inverse reference path keeps full verdict coverage.
+class SimplexEngines : public ::testing::TestWithParam<SimplexEngine> {
+ protected:
+  SimplexOptions options() const {
+    SimplexOptions o;
+    o.engine = GetParam();
+    return o;
+  }
+};
+
+TEST_P(SimplexEngines, OptimalWithMixedRowTypes) {
+  Model m;
+  const int x = m.add_variable(0.0, 10.0, -3.0);
+  const int y = m.add_variable(0.0, kInfinity, -5.0);
+  m.add_row(-kInfinity, 4.0, {{x, 1.0}});
+  m.add_row(-kInfinity, 12.0, {{y, 2.0}});
+  m.add_row(-kInfinity, 18.0, {{x, 3.0}, {y, 2.0}});
+  Solution s = solve(m, options());
+  ASSERT_EQ(s.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(s.objective, -36.0, 1e-7);
+  EXPECT_NEAR(s.x[x], 2.0, 1e-7);
+  EXPECT_NEAR(s.x[y], 6.0, 1e-7);
+}
+
+TEST_P(SimplexEngines, InfeasibleDetected) {
+  Model m;
+  const int x = m.add_variable(0.0, 1.0, 0.0);
+  m.add_row(2.0, kInfinity, {{x, 1.0}});
+  EXPECT_EQ(solve(m, options()).status, SolveStatus::kInfeasible);
+}
+
+TEST_P(SimplexEngines, UnboundedDetected) {
+  Model m;
+  const int x = m.add_variable(0.0, kInfinity, -1.0);
+  m.add_row(0.0, kInfinity, {{x, 1.0}});
+  EXPECT_EQ(solve(m, options()).status, SolveStatus::kUnbounded);
+}
+
+TEST_P(SimplexEngines, WarmStartReproducesOptimum) {
+  Model m;
+  const int x = m.add_variable(0.0, 4.0, -2.0);
+  const int y = m.add_variable(0.0, 4.0, -3.0);
+  m.add_row(-kInfinity, 6.0, {{x, 1.0}, {y, 1.0}});
+  SimplexOptions o = options();
+  Solution cold = solve(m, o);
+  ASSERT_EQ(cold.status, SolveStatus::kOptimal);
+  o.warm_start = &cold.basis;
+  Solution warm = solve(m, o);
+  ASSERT_EQ(warm.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(warm.objective, cold.objective, 1e-9);
+  EXPECT_LE(warm.iterations, 2);
+  EXPECT_EQ(warm.start_path, StartPath::kWarmPrimal);
+}
+
+TEST_P(SimplexEngines, WarmStartSurvivesBoundTightening) {
+  // Tightening a bound makes the warm basis primal infeasible: the
+  // dual-repair path must recover the new optimum under both engines.
+  Model m;
+  const int x = m.add_variable(0.0, 5.0, -1.0);
+  const int y = m.add_variable(0.0, 5.0, -1.0);
+  m.add_row(-kInfinity, 8.0, {{x, 1.0}, {y, 1.0}});
+  SimplexOptions o = options();
+  Solution first = solve(m, o);
+  ASSERT_EQ(first.status, SolveStatus::kOptimal);
+  m.set_variable_bounds(x, 0.0, 2.0);
+  o.warm_start = &first.basis;
+  Solution repaired = solve(m, o);
+  ASSERT_EQ(repaired.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(repaired.objective, -7.0, 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Engines, SimplexEngines,
+                         ::testing::Values(SimplexEngine::kSparseLu,
+                                           SimplexEngine::kDenseInverse),
+                         [](const ::testing::TestParamInfo<SimplexEngine>& info) {
+                           return info.param == SimplexEngine::kSparseLu
+                                      ? "SparseLu"
+                                      : "DenseInverse";
+                         });
+
 }  // namespace
 }  // namespace np::lp
