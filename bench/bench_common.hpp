@@ -21,6 +21,28 @@
 
 namespace np::bench {
 
+/// Schema version stamped into every emitted BENCH_*.json. Bump when a
+/// bench changes the meaning or layout of its JSON fields, so perf
+/// trajectories across PRs compare like with like.
+inline constexpr int kBenchSchemaVersion = 2;
+
+/// Git revision baked in at configure time (bench/CMakeLists.txt);
+/// "unknown" outside a git checkout.
+inline const char* git_rev() {
+#ifdef NEUROPLAN_GIT_REV
+  return NEUROPLAN_GIT_REV;
+#else
+  return "unknown";
+#endif
+}
+
+/// Emit the shared provenance fields. Call right after writing the
+/// opening '{' of a BENCH_*.json document (fields end with a comma).
+inline void print_json_provenance(std::FILE* out) {
+  std::fprintf(out, "  \"schema_version\": %d,\n  \"git_rev\": \"%s\",\n",
+               kBenchSchemaVersion, git_rev());
+}
+
 inline std::string topo_selection(const std::string& fallback) {
   return env_string("NEUROPLAN_TOPOS", fallback);
 }

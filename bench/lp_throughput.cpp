@@ -34,7 +34,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "lp/simplex.hpp"
+#include "obs/obs.hpp"
 #include "plan/scenario_lp.hpp"
 #include "topo/generator.hpp"
 #include "util/env.hpp"
@@ -196,6 +198,7 @@ void print_json_formulation(std::FILE* out, const char* name, int rows,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::configure_from_env();  // NEUROPLAN_TRACE_OUT / NEUROPLAN_METRICS_OUT
   const std::string topos = env_string("NEUROPLAN_TOPOS", "B");
   const char preset = topos.empty() ? 'B' : topos[0];
   const unsigned seed = static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7));
@@ -238,8 +241,9 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "cannot write %s\n", out_path);
     return 1;
   }
+  std::fprintf(out, "{\n");
+  bench::print_json_provenance(out);
   std::fprintf(out,
-               "{\n"
                "  \"benchmark\": \"lp_throughput\",\n"
                "  \"topology\": \"%c\",\n"
                "  \"capacity_steps\": %d,\n"
@@ -254,5 +258,6 @@ int main(int argc, char** argv) {
                engine_speedup, warm_iteration_ratio);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+  obs::shutdown();
   return 0;
 }

@@ -16,7 +16,9 @@
 #include <string>
 #include <vector>
 
+#include "bench_common.hpp"
 #include "nn/actor_critic.hpp"
+#include "obs/obs.hpp"
 #include "rl/rollout.hpp"
 #include "topo/generator.hpp"
 #include "util/env.hpp"
@@ -77,6 +79,7 @@ Measurement measure(const topo::Topology& topology, const rl::EnvConfig& env,
 }  // namespace
 
 int main(int argc, char** argv) {
+  obs::configure_from_env();  // NEUROPLAN_TRACE_OUT / NEUROPLAN_METRICS_OUT
   const std::string topos = env_string("NEUROPLAN_TOPOS", "B");
   const char preset = topos.empty() ? 'B' : topos[0];
   const unsigned seed = static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7));
@@ -122,8 +125,9 @@ int main(int argc, char** argv) {
     total_lp_iterations += m.lp_iterations;
     total_lp_seconds += m.lp_seconds;
   }
+  std::fprintf(out, "{\n");
+  bench::print_json_provenance(out);
   std::fprintf(out,
-               "{\n"
                "  \"benchmark\": \"rollout_throughput\",\n"
                "  \"topology\": \"%c\",\n"
                "  \"steps_per_collect\": %d,\n"
@@ -154,5 +158,6 @@ int main(int argc, char** argv) {
                total_lp_iterations, total_lp_seconds, speedup);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
+  obs::shutdown();
   return 0;
 }

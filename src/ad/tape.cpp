@@ -4,6 +4,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace np::ad {
@@ -442,6 +444,9 @@ Tensor Tape::gat_aggregate(
 }
 
 void Tape::backward(Tensor root) {
+  NP_SPAN("ad.backward");
+  static obs::Counter& backwards = obs::counter("ad.backwards");
+  backwards.add(1);
   Node& r = nodes_[root.index];
   if (r.value.rows() != 1 || r.value.cols() != 1) {
     throw std::invalid_argument("Tape::backward: root must be 1x1");

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <numeric>
 
+#include "obs/metrics.hpp"
 #include "util/check.hpp"
 
 namespace np::lp {
@@ -25,6 +26,13 @@ constexpr int kMaxEtas = 128;
 }  // namespace
 
 bool BasisFactor::factorize(int m, const std::vector<ColumnView>& columns) {
+  if (obs::detail_enabled() && stats_.factorizations > 0) {
+    // How long the eta file got before this refactorization — the
+    // "update vs. refactor" balance the simplex is actually running at.
+    static obs::Histogram& eta_len = obs::histogram(
+        "lp.eta_entries_at_refactor", obs::exponential_buckets(1.0, 2.0, 14));
+    eta_len.observe(static_cast<double>(stats_.eta_entries));
+  }
   m_ = m;
   etas_.clear();
   eta_entries_.clear();
@@ -130,6 +138,11 @@ bool BasisFactor::factorize(int m, const std::vector<ColumnView>& columns) {
   }
   stats_.lu_entries = static_cast<long>(lower_entries_.size()) +
                       static_cast<long>(upper_entries_.size()) + m;
+  if (obs::detail_enabled()) {
+    static obs::Histogram& lu = obs::histogram(
+        "lp.lu_entries", obs::exponential_buckets(8.0, 2.0, 14));
+    lu.observe(static_cast<double>(stats_.lu_entries));
+  }
 
 #if NP_CHECKS_ENABLED
   {
@@ -242,6 +255,15 @@ void BasisFactor::ftran_column(ColumnView a, std::vector<double>& w) const {
     if (work_[k] != 0.0) w[col_of_pos_[k]] = work_[k];
   }
   apply_etas(w);
+  if (obs::detail_enabled()) {
+    // Result density is the whole point of the hyper-sparse solves;
+    // the O(m) count scan is why this lives behind detail_enabled().
+    long nnz = 0;
+    for (double v : w) nnz += v != 0.0 ? 1 : 0;
+    static obs::Histogram& h = obs::histogram(
+        "lp.ftran_nnz", obs::exponential_buckets(1.0, 2.0, 12));
+    h.observe(static_cast<double>(nnz));
+  }
 }
 
 void BasisFactor::btran(std::vector<double>& x) const {
@@ -269,6 +291,13 @@ void BasisFactor::btran_unit(int p, std::vector<double>& rho) const {
   upper_transpose_solve(work_, first);
   lower_transpose_solve(work_);
   for (int k = 0; k < m_; ++k) rho[row_of_pos_[k]] = work_[k];
+  if (obs::detail_enabled()) {
+    long nnz = 0;
+    for (double v : rho) nnz += v != 0.0 ? 1 : 0;
+    static obs::Histogram& h = obs::histogram(
+        "lp.btran_nnz", obs::exponential_buckets(1.0, 2.0, 12));
+    h.observe(static_cast<double>(nnz));
+  }
 }
 
 void BasisFactor::append_eta(int p, const std::vector<double>& w) {

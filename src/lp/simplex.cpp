@@ -7,6 +7,8 @@
 #include <stdexcept>
 
 #include "lp/factor.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/stopwatch.hpp"
 
@@ -715,6 +717,8 @@ class Simplex {
   }
 
   bool refactor() {
+    static obs::Counter& refactorizations = obs::counter("lp.refactorizations");
+    refactorizations.add(1);
     basis_cols_.resize(m_);
     for (int p = 0; p < m_; ++p) basis_cols_[p] = col(basis_[p]);
     return engine_->refactor(basis_cols_);
@@ -981,7 +985,9 @@ class Simplex {
 
 }  // namespace
 
-Solution solve(const Model& model, const SimplexOptions& options) {
+namespace {
+
+Solution solve_impl(const Model& model, const SimplexOptions& options) {
   model.validate();
   try {
     Simplex simplex(model, options);
@@ -993,6 +999,8 @@ Solution solve(const Model& model, const SimplexOptions& options) {
     // Retry once, cold, with frequent refactorization; if even that
     // fails, report a resource-limit status instead of crashing the
     // caller (branch-and-bound treats it like any other failed node).
+    static obs::Counter& singular_retries = obs::counter("lp.singular_retries");
+    singular_retries.add(1);
     SimplexOptions conservative = options;
     conservative.warm_start = nullptr;
     conservative.refactor_interval = 50;
@@ -1007,6 +1015,52 @@ Solution solve(const Model& model, const SimplexOptions& options) {
       return failed;
     }
   }
+}
+
+/// Per-solve telemetry: volume (solves, iterations), how each solve
+/// started (warm-start efficacy), and — when detail metrics are on —
+/// the solve-time distribution.
+void record_solve_metrics(const Solution& solution) {
+  static obs::Counter& solves = obs::counter("lp.solves");
+  static obs::Counter& iterations = obs::counter("lp.iterations");
+  solves.add(1);
+  iterations.add(solution.iterations);
+  switch (solution.start_path) {
+    case StartPath::kCold: {
+      static obs::Counter& c = obs::counter("lp.start.cold");
+      c.add(1);
+      break;
+    }
+    case StartPath::kWarmPrimal: {
+      static obs::Counter& c = obs::counter("lp.start.warm_primal");
+      c.add(1);
+      break;
+    }
+    case StartPath::kDualRepair: {
+      static obs::Counter& c = obs::counter("lp.start.dual_repair");
+      c.add(1);
+      break;
+    }
+    case StartPath::kWarmFailed: {
+      static obs::Counter& c = obs::counter("lp.start.warm_failed");
+      c.add(1);
+      break;
+    }
+  }
+  if (obs::detail_enabled()) {
+    static obs::Histogram& solve_us = obs::histogram(
+        "lp.solve_us", obs::exponential_buckets(1.0, 4.0, 12));
+    solve_us.observe(solution.solve_seconds * 1e6);
+  }
+}
+
+}  // namespace
+
+Solution solve(const Model& model, const SimplexOptions& options) {
+  NP_SPAN("simplex.solve");
+  Solution solution = solve_impl(model, options);
+  record_solve_metrics(solution);
+  return solution;
 }
 
 }  // namespace np::lp

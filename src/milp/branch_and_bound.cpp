@@ -5,6 +5,8 @@
 #include <memory>
 #include <queue>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -60,6 +62,9 @@ class BranchAndBound {
   }
 
   MilpResult run() {
+    NP_SPAN("milp.solve");
+    static obs::Counter& solves = obs::counter("milp.solves");
+    solves.add(1);
     Stopwatch watch;
     MilpResult result;
     try_warm_start(result);
@@ -84,6 +89,8 @@ class BranchAndBound {
         continue;  // pruned by bound
       }
       ++result.nodes_explored;
+      static obs::Counter& nodes = obs::counter("milp.nodes");
+      nodes.add(1);
 
       if (!apply_bounds(node.chain)) continue;
       lp::SimplexOptions lp_opts = options_.lp_options;

@@ -2,6 +2,10 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/check.hpp"
+
 namespace np::nn {
 
 namespace {
@@ -31,10 +35,15 @@ ActorCritic::ActorCritic(const NetworkConfig& config, Rng& rng)
 ad::Tensor ActorCritic::policy_log_probs(
     ad::Tape& tape, std::shared_ptr<const la::CsrMatrix> adjacency,
     const la::Matrix& features, const std::vector<std::uint8_t>& action_mask) {
+  NP_SPAN("nn.policy_forward");
+  static obs::Counter& forwards = obs::counter("nn.policy_forwards");
+  forwards.add(1);
   const std::size_t n = features.rows();
   if (action_mask.size() != n * static_cast<std::size_t>(config_.max_units_per_step)) {
     throw std::invalid_argument("policy_log_probs: mask size mismatch");
   }
+  NP_CHECK_DIMS(features.rows(), features.cols(), -1, config_.feature_dim,
+                "ActorCritic::policy_log_probs");
   ad::Tensor embedding =
       encoder_->forward(tape, std::move(adjacency), tape.constant(features));
   ad::Tensor logits = actor_.forward(tape, embedding);        // n x m
@@ -45,6 +54,11 @@ ad::Tensor ActorCritic::policy_log_probs(
 ad::Tensor ActorCritic::value(ad::Tape& tape,
                               std::shared_ptr<const la::CsrMatrix> adjacency,
                               const la::Matrix& features) {
+  NP_SPAN("nn.value_forward");
+  static obs::Counter& forwards = obs::counter("nn.value_forwards");
+  forwards.add(1);
+  NP_CHECK_DIMS(features.rows(), features.cols(), -1, config_.feature_dim,
+                "ActorCritic::value");
   ad::Tensor embedding =
       encoder_->forward(tape, std::move(adjacency), tape.constant(features));
   return critic_.forward(tape, tape.mean_rows(embedding));
@@ -55,6 +69,11 @@ ActorCritic::BatchedForward ActorCritic::forward_batch(
     const la::Matrix& stacked_features,
     const std::vector<const std::vector<std::uint8_t>*>& action_masks,
     bool want_values) {
+  NP_SPAN("nn.forward_batch");
+  static obs::Counter& forwards = obs::counter("nn.batch_forwards");
+  forwards.add(1);
+  NP_CHECK_DIMS(stacked_features.rows(), stacked_features.cols(), -1,
+                config_.feature_dim, "ActorCritic::forward_batch");
   const std::size_t steps = action_masks.size();
   if (steps == 0) throw std::invalid_argument("forward_batch: no steps");
   if (stacked_features.rows() % steps != 0) {
@@ -96,6 +115,9 @@ ActorCritic::BatchedForward ActorCritic::forward_batch(
 ad::Tensor ActorCritic::value_batch(
     ad::Tape& tape, std::shared_ptr<const la::CsrMatrix> block_adjacency,
     const la::Matrix& stacked_features, std::size_t steps) {
+  NP_SPAN("nn.value_batch");
+  NP_CHECK_DIMS(stacked_features.rows(), stacked_features.cols(), -1,
+                config_.feature_dim, "ActorCritic::value_batch");
   if (steps == 0 || stacked_features.rows() % steps != 0) {
     throw std::invalid_argument("value_batch: feature rows not divisible by steps");
   }

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::nn {
 
 GcnEncoder::GcnEncoder(std::string name, int in_features, int hidden, int layers,
@@ -24,6 +26,11 @@ ad::Tensor GcnEncoder::forward(ad::Tape& tape,
   if (adjacency == nullptr) {
     throw std::invalid_argument("GcnEncoder: null adjacency");
   }
+  // First-layer width is fixed by the node-link feature encoding; a
+  // mismatch here means the env's feature builder and the network
+  // config diverged.
+  NP_CHECK_DIMS(tape.value(features).rows(), tape.value(features).cols(), -1,
+                in_features_, "GcnEncoder::forward");
   ad::Tensor h = features;
   for (Linear& layer : layers_) {
     // Eq. 7: propagate, project, activate.

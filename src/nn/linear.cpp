@@ -3,6 +3,8 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::nn {
 
 Linear::Linear(std::string name, int in_features, int out_features, Rng& rng)
@@ -18,6 +20,8 @@ Linear::Linear(std::string name, int in_features, int out_features, Rng& rng)
 }
 
 ad::Tensor Linear::forward(ad::Tape& tape, ad::Tensor x) {
+  NP_CHECK_DIMS(tape.value(x).rows(), tape.value(x).cols(), -1, in_features_,
+                "Linear::forward");
   ad::Tensor w = tape.parameter(weight_);
   ad::Tensor b = tape.parameter(bias_);
   return tape.add_row_broadcast(tape.matmul(x, w), b);

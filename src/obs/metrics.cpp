@@ -1,0 +1,232 @@
+#include "obs/metrics.hpp"
+
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <mutex>
+
+namespace np::obs {
+
+namespace {
+
+std::atomic<bool> g_detail{false};
+
+/// Atomic CAS-min/max over doubles; relaxed is fine — per-field
+/// atomicity is all a snapshot needs.
+void atomic_min(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x < cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& slot, double x) {
+  double cur = slot.load(std::memory_order_relaxed);
+  while (x > cur &&
+         !slot.compare_exchange_weak(cur, x, std::memory_order_relaxed)) {
+  }
+}
+
+/// Shortest %g-style rendering that survives a JSON round-trip. %.17g
+/// would be exact but produces noisy goldens; 12 significant digits are
+/// beyond anything the instruments measure.
+void append_json_number(std::string& out, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.12g", v);
+  out += buf;
+}
+
+void append_json_string(std::string& out, std::string_view s) {
+  out += '"';
+  for (char c : s) {
+    // Instrument names are dotted identifiers; escape defensively anyway.
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+}
+
+}  // namespace
+
+Histogram::Histogram(std::vector<double> bounds)
+    : bounds_(std::move(bounds)),
+      buckets_(new std::atomic<long>[bounds_.size() + 1]),
+      min_(std::numeric_limits<double>::infinity()),
+      max_(-std::numeric_limits<double>::infinity()) {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) buckets_[i].store(0);
+}
+
+void Histogram::observe(double x) {
+  std::size_t b = 0;
+  while (b < bounds_.size() && x > bounds_[b]) ++b;
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  double cur = sum_.load(std::memory_order_relaxed);
+  while (!sum_.compare_exchange_weak(cur, cur + x,
+                                     std::memory_order_relaxed)) {
+  }
+  atomic_min(min_, x);
+  atomic_max(max_, x);
+}
+
+double Histogram::min() const { return min_.load(std::memory_order_relaxed); }
+double Histogram::max() const { return max_.load(std::memory_order_relaxed); }
+
+void Histogram::reset() {
+  for (std::size_t i = 0; i <= bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0.0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+  max_.store(-std::numeric_limits<double>::infinity(),
+             std::memory_order_relaxed);
+}
+
+std::vector<double> exponential_buckets(double start, double factor,
+                                        int count) {
+  std::vector<double> bounds;
+  bounds.reserve(static_cast<std::size_t>(count));
+  double b = start;
+  for (int i = 0; i < count; ++i) {
+    bounds.push_back(b);
+    b *= factor;
+  }
+  return bounds;
+}
+
+// Instruments are held by unique_ptr inside node-based maps, so the
+// references handed to call sites never move; std::less<> enables
+// string_view lookups without a temporary std::string.
+struct Registry::Impl {
+  mutable std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
+};
+
+Registry::Registry() : impl_(std::make_unique<Impl>()) {}
+Registry::~Registry() = default;
+
+Registry& Registry::instance() {
+  // Leaked on purpose: instrumented code (thread pool teardown, static
+  // destructors) may record after main() returns.
+  static Registry* g = new Registry();
+  return *g;
+}
+
+Counter& Registry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->counters.find(name);
+  if (it == impl_->counters.end()) {
+    it = impl_->counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return *it->second;
+}
+
+Gauge& Registry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->gauges.find(name);
+  if (it == impl_->gauges.end()) {
+    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
+             .first;
+  }
+  return *it->second;
+}
+
+Histogram& Registry::histogram(std::string_view name,
+                               std::vector<double> bounds) {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  auto it = impl_->histograms.find(name);
+  if (it == impl_->histograms.end()) {
+    it = impl_->histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(std::move(bounds)))
+             .first;
+  }
+  return *it->second;
+}
+
+std::string Registry::snapshot_json() const {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  std::string out = "{\"counters\":{";
+  bool first = true;
+  for (const auto& [name, c] : impl_->counters) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    out += std::to_string(c->value());
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, g] : impl_->gauges) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    out += ':';
+    append_json_number(out, g->value());
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, h] : impl_->histograms) {
+    if (!first) out += ',';
+    first = false;
+    append_json_string(out, name);
+    const long n = h->count();
+    out += ":{\"count\":";
+    out += std::to_string(n);
+    out += ",\"sum\":";
+    append_json_number(out, h->sum());
+    if (n > 0) {
+      out += ",\"min\":";
+      append_json_number(out, h->min());
+      out += ",\"max\":";
+      append_json_number(out, h->max());
+      out += ",\"mean\":";
+      append_json_number(out, h->sum() / static_cast<double>(n));
+    }
+    out += ",\"bounds\":[";
+    for (std::size_t i = 0; i < h->bounds().size(); ++i) {
+      if (i > 0) out += ',';
+      append_json_number(out, h->bounds()[i]);
+    }
+    out += "],\"buckets\":[";
+    for (std::size_t i = 0; i <= h->bounds().size(); ++i) {
+      if (i > 0) out += ',';
+      out += std::to_string(h->bucket_count(i));
+    }
+    out += "]}";
+  }
+  out += "}}";
+  return out;
+}
+
+void Registry::reset() {
+  std::lock_guard<std::mutex> lock(impl_->mutex);
+  for (auto& [name, c] : impl_->counters) c->reset();
+  for (auto& [name, g] : impl_->gauges) g->reset();
+  for (auto& [name, h] : impl_->histograms) h->reset();
+}
+
+Counter& counter(std::string_view name) {
+  return Registry::instance().counter(name);
+}
+
+Gauge& gauge(std::string_view name) {
+  return Registry::instance().gauge(name);
+}
+
+Histogram& histogram(std::string_view name, std::vector<double> bounds) {
+  return Registry::instance().histogram(name, std::move(bounds));
+}
+
+bool detail_enabled() { return g_detail.load(std::memory_order_relaxed); }
+void set_detail_enabled(bool enabled) {
+  g_detail.store(enabled, std::memory_order_relaxed);
+}
+
+}  // namespace np::obs

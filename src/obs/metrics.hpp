@@ -1,0 +1,140 @@
+// Process-wide metrics registry: named counters, gauges and
+// fixed-bucket histograms with a lock-free hot path.
+//
+// Design: instruments are registered once (registry mutex) and then
+// updated through plain relaxed atomics — no locks, no allocation, no
+// syscalls on the hot path. Call sites cache the instrument reference
+// in a function-local static so steady-state cost is one atomic RMW:
+//
+//   static obs::Counter& solves = obs::counter("lp.solves");
+//   solves.add(1);
+//
+// Instruments live for the whole process (the registry never removes
+// or moves them), so cached references stay valid across snapshot()
+// and reset(). Snapshots are taken concurrently with updates; with
+// relaxed atomics each read is atomic per-field, so totals are exact
+// for quiesced writers and merely slightly stale for live ones —
+// exactly the semantics a metrics exporter needs.
+//
+// This library is self-contained (std + threads only): np_util links
+// against it so the thread pool and logger can be instrumented, which
+// forbids any obs -> util dependency.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace np::obs {
+
+/// Monotonically increasing event count.
+class Counter {
+ public:
+  void add(long delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  long value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long> value_{0};
+};
+
+/// Last-write-wins scalar (also supports atomic add via CAS; we avoid
+/// atomic<double>::fetch_add, which is C++20-library-optional).
+class Gauge {
+ public:
+  void set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void add(double delta) {
+    double cur = value_.load(std::memory_order_relaxed);
+    while (!value_.compare_exchange_weak(cur, cur + delta,
+                                         std::memory_order_relaxed)) {
+    }
+  }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Fixed-bucket histogram: ascending finite upper bounds plus an
+/// implicit +inf overflow bucket. observe() is lock-free: a linear
+/// bucket scan (bucket counts are small, <= ~24) plus relaxed RMWs on
+/// count/sum and CAS loops on min/max.
+class Histogram {
+ public:
+  explicit Histogram(std::vector<double> bounds);
+
+  void observe(double x);
+
+  long count() const { return count_.load(std::memory_order_relaxed); }
+  double sum() const { return sum_.load(std::memory_order_relaxed); }
+  double min() const;  ///< +inf when empty
+  double max() const;  ///< -inf when empty
+  const std::vector<double>& bounds() const { return bounds_; }
+  /// bucket_count(i) counts observations x <= bounds()[i] (and above the
+  /// previous bound); index bounds().size() is the +inf overflow bucket.
+  long bucket_count(std::size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  void reset();
+
+ private:
+  std::vector<double> bounds_;  ///< ascending, finite
+  std::unique_ptr<std::atomic<long>[]> buckets_;  ///< bounds_.size() + 1
+  std::atomic<long> count_{0};
+  std::atomic<double> sum_{0.0};
+  std::atomic<double> min_;
+  std::atomic<double> max_;
+};
+
+/// `count` bucket upper bounds starting at `start`, each `factor` times
+/// the previous — the usual latency-histogram layout.
+std::vector<double> exponential_buckets(double start, double factor, int count);
+
+/// Named instrument store. `instance()` is the process-wide registry;
+/// separate instances are constructible for tests. Registration takes
+/// the mutex; instruments are never destroyed or moved afterwards.
+class Registry {
+ public:
+  Registry();
+  ~Registry();
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  static Registry& instance();
+
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+  /// Bounds are fixed by the first registration; later calls with the
+  /// same name return the existing histogram regardless of `bounds`.
+  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+  /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}
+  /// with names in sorted order (stable across runs for golden tests).
+  std::string snapshot_json() const;
+
+  /// Zero every instrument (registrations are kept, references stay
+  /// valid). For tests and between bench configurations.
+  void reset();
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// Process-wide instrument lookup — the hot-path entry points.
+Counter& counter(std::string_view name);
+Gauge& gauge(std::string_view name);
+Histogram& histogram(std::string_view name, std::vector<double> bounds);
+
+/// Detail metrics (per-solve histograms, FTRAN/BTRAN nnz scans) cost
+/// O(m) extra work per observation, so they are gated on this flag;
+/// it is switched on when a metrics sink is configured. Counters and
+/// spans are cheap enough to stay unconditional.
+bool detail_enabled();
+void set_detail_enabled(bool enabled);
+
+}  // namespace np::obs

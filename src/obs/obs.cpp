@@ -1,0 +1,103 @@
+#include "obs/obs.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <mutex>
+
+namespace np::obs {
+
+namespace {
+
+// One mutex guards all sink state: configuration happens a handful of
+// times per process and emit_metrics_record() once per training epoch,
+// so contention is irrelevant; the registry hot path never comes here.
+std::mutex g_sink_mutex;
+std::string g_trace_path;        // empty = no trace output
+std::FILE* g_metrics_out = nullptr;
+
+void write_metrics_record_locked(const char* record, long index) {
+  if (g_metrics_out == nullptr) return;
+  const std::string snapshot = Registry::instance().snapshot_json();
+  std::fprintf(g_metrics_out,
+               "{\"record\":\"%s\",\"index\":%ld,\"elapsed_us\":%.1f,"
+               "\"metrics\":%s}\n",
+               record, index, now_us(), snapshot.c_str());
+  std::fflush(g_metrics_out);
+}
+
+}  // namespace
+
+void configure_from_env() {
+  // std::getenv, not util/env.hpp: np_util links np_obs, not the other
+  // way around.
+  const char* trace = std::getenv("NEUROPLAN_TRACE_OUT");
+  if (trace != nullptr && trace[0] != '\0') set_trace_out(trace);
+  const char* metrics = std::getenv("NEUROPLAN_METRICS_OUT");
+  if (metrics != nullptr && metrics[0] != '\0') set_metrics_out(metrics);
+}
+
+void set_trace_out(std::string path) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  g_trace_path = std::move(path);
+  set_tracing_enabled(!g_trace_path.empty());
+}
+
+void set_metrics_out(const std::string& path) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (g_metrics_out != nullptr) {
+    std::fclose(g_metrics_out);
+    g_metrics_out = nullptr;
+  }
+  if (path.empty()) {
+    set_detail_enabled(false);
+    return;
+  }
+  g_metrics_out = std::fopen(path.c_str(), "w");
+  if (g_metrics_out == nullptr) {
+    std::fprintf(stderr, "[np obs] cannot open metrics output %s\n",
+                 path.c_str());
+    return;
+  }
+  set_detail_enabled(true);
+}
+
+bool metrics_out_open() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  return g_metrics_out != nullptr;
+}
+
+void emit_metrics_record(const char* record, long index) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  write_metrics_record_locked(record, index);
+}
+
+void shutdown() {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (!g_trace_path.empty()) {
+    std::FILE* out = std::fopen(g_trace_path.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "[np obs] cannot open trace output %s\n",
+                   g_trace_path.c_str());
+    } else {
+      const std::size_t events = write_chrome_trace(out);
+      std::fclose(out);
+      std::fprintf(stderr, "[np obs] wrote %zu trace events to %s", events,
+                   g_trace_path.c_str());
+      const std::size_t dropped = trace_dropped_count();
+      if (dropped > 0) {
+        std::fprintf(stderr, " (%zu dropped at per-thread cap)", dropped);
+      }
+      std::fputc('\n', stderr);
+    }
+    g_trace_path.clear();
+    set_tracing_enabled(false);
+  }
+  if (g_metrics_out != nullptr) {
+    write_metrics_record_locked("final", -1);
+    std::fclose(g_metrics_out);
+    g_metrics_out = nullptr;
+    set_detail_enabled(false);
+  }
+}
+
+}  // namespace np::obs

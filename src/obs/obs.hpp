@@ -1,0 +1,53 @@
+// Umbrella header + process-level wiring for the observability layer:
+// where the metrics registry (metrics.hpp) and trace spans (trace.hpp)
+// meet files and the environment.
+//
+// Lifecycle (what neuroplan_cli and the benches do):
+//
+//   obs::configure_from_env();          // NEUROPLAN_{TRACE,METRICS}_OUT
+//   obs::set_trace_out(path);           // or explicit flags, override env
+//   obs::set_metrics_out(path);
+//   ... instrumented work; the trainer calls
+//   obs::emit_metrics_record("train_epoch", epoch) once per iteration ...
+//   obs::shutdown();                    // flush trace + final record
+//
+// Everything is a no-op when no output was configured, so library code
+// can emit records unconditionally.
+#pragma once
+
+#include <string>
+
+#include "obs/metrics.hpp"  // IWYU pragma: export
+#include "obs/trace.hpp"    // IWYU pragma: export
+
+namespace np::obs {
+
+/// Read NEUROPLAN_TRACE_OUT / NEUROPLAN_METRICS_OUT and configure the
+/// corresponding sinks. Call once, early; explicit set_*_out() calls
+/// afterwards override the environment.
+void configure_from_env();
+
+/// Enable tracing and remember where shutdown() writes the Chrome
+/// trace JSON. Empty path disables.
+void set_trace_out(std::string path);
+
+/// Open (truncate) a JSONL metrics sink and enable detail metrics.
+/// Empty path disables. One emit_metrics_record() call = one line.
+void set_metrics_out(const std::string& path);
+
+/// True when a metrics sink is open (lets callers skip building
+/// per-iteration records nobody will read).
+bool metrics_out_open();
+
+/// Append one JSONL record: {"record":<name>,"index":<index>,
+/// "elapsed_us":...,"metrics":<registry snapshot>}. No-op without an
+/// open sink. Thread-safe; the line is flushed so records survive a
+/// crash mid-run.
+void emit_metrics_record(const char* record, long index);
+
+/// Flush and close both sinks: writes the trace file (if configured),
+/// emits a "final" metrics record, closes the JSONL stream. Safe to
+/// call more than once.
+void shutdown();
+
+}  // namespace np::obs

@@ -1,0 +1,171 @@
+#include "obs/trace.hpp"
+
+#include <chrono>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace np::obs {
+
+namespace {
+
+std::atomic<bool> g_tracing{false};
+
+/// Per-thread cap: ~24 MB of events before a thread starts dropping.
+/// Protects long traced runs from unbounded memory, with a counter so
+/// truncation is visible instead of silent.
+constexpr std::size_t kMaxEventsPerThread = 1u << 20;
+
+struct TraceEvent {
+  const char* name;  ///< string literal owned by the call site
+  double ts_us;
+  double dur_us;
+};
+
+}  // namespace
+
+namespace detail {
+
+struct ThreadBuffer {
+  explicit ThreadBuffer(int tid) : tid(tid) {}
+  // The owning thread appends under this (uncontended) mutex; the
+  // exporter takes it only while copying the events out.
+  std::mutex mutex;
+  std::vector<TraceEvent> events;
+  std::size_t dropped = 0;
+  int tid;
+};
+
+}  // namespace detail
+
+namespace {
+
+/// Owns every thread's buffer (shared with the thread_local below) so
+/// events outlive pool workers and the exporter sees all threads.
+class TraceCollector {
+ public:
+  static TraceCollector& instance() {
+    // Leaked: spans may fire from static destructors after main().
+    static TraceCollector* g = new TraceCollector();
+    return *g;
+  }
+
+  std::shared_ptr<detail::ThreadBuffer> register_thread() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto buffer = std::make_shared<detail::ThreadBuffer>(next_tid_++);
+    buffers_.push_back(buffer);
+    return buffer;
+  }
+
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return buffers_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers_;
+  int next_tid_ = 1;  // tid 1 = first thread to trace (normally main)
+};
+
+/// "simplex.solve" -> "simplex"; names without a dot are their own
+/// category.
+std::size_t category_length(const char* name) {
+  const char* dot = std::strchr(name, '.');
+  return dot != nullptr ? static_cast<std::size_t>(dot - name)
+                        : std::strlen(name);
+}
+
+}  // namespace
+
+double now_us() {
+  // The anchor is initialized on first use (thread-safe magic static);
+  // all timestamps are relative to it, so traces start near ts=0.
+  static const auto t0 = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+bool tracing_enabled() { return g_tracing.load(std::memory_order_relaxed); }
+
+void set_tracing_enabled(bool enabled) {
+  if (enabled) now_us();  // pin the timebase before the first span
+  g_tracing.store(enabled, std::memory_order_relaxed);
+}
+
+namespace detail {
+
+ThreadBuffer& thread_buffer() {
+  thread_local std::shared_ptr<ThreadBuffer> buffer =
+      TraceCollector::instance().register_thread();
+  return *buffer;
+}
+
+void record_span(ThreadBuffer& buffer, const char* name, double start_us,
+                 double end_us) {
+  std::lock_guard<std::mutex> lock(buffer.mutex);
+  if (buffer.events.size() >= kMaxEventsPerThread) {
+    ++buffer.dropped;
+    return;
+  }
+  buffer.events.push_back(TraceEvent{name, start_us, end_us - start_us});
+}
+
+}  // namespace detail
+
+std::size_t trace_event_count() {
+  std::size_t total = 0;
+  for (const auto& buffer : TraceCollector::instance().buffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->events.size();
+  }
+  return total;
+}
+
+std::size_t trace_dropped_count() {
+  std::size_t total = 0;
+  for (const auto& buffer : TraceCollector::instance().buffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    total += buffer->dropped;
+  }
+  return total;
+}
+
+void clear_trace() {
+  for (const auto& buffer : TraceCollector::instance().buffers()) {
+    std::lock_guard<std::mutex> lock(buffer->mutex);
+    buffer->events.clear();
+    buffer->dropped = 0;
+  }
+}
+
+std::size_t write_chrome_trace(std::FILE* out) {
+  std::fputs("{\"traceEvents\":[", out);
+  std::size_t written = 0;
+  for (const auto& buffer : TraceCollector::instance().buffers()) {
+    // Copy under the buffer lock, format outside it: formatting is the
+    // slow part and must not stall a live thread's span recording.
+    std::vector<TraceEvent> events;
+    int tid = 0;
+    {
+      std::lock_guard<std::mutex> lock(buffer->mutex);
+      events = buffer->events;
+      tid = buffer->tid;
+    }
+    for (const TraceEvent& e : events) {
+      std::fprintf(out,
+                   "%s\n{\"name\":\"%s\",\"cat\":\"%.*s\",\"ph\":\"X\","
+                   "\"ts\":%.3f,\"dur\":%.3f,\"pid\":1,\"tid\":%d}",
+                   written > 0 ? "," : "", e.name,
+                   static_cast<int>(category_length(e.name)), e.name, e.ts_us,
+                   e.dur_us, tid);
+      ++written;
+    }
+  }
+  std::fputs("\n]}\n", out);
+  return written;
+}
+
+}  // namespace np::obs

@@ -1,0 +1,96 @@
+// Scoped trace spans exported as Chrome trace-event JSON.
+//
+//   { NP_SPAN("simplex.solve"); ... }   // one complete ("ph":"X") event
+//
+// Hot path: when tracing is disabled (the default) a span costs one
+// relaxed atomic load in the constructor and a branch in the
+// destructor — nothing is recorded, timestamped or allocated. When
+// enabled, the destructor appends a 24-byte event to a per-thread
+// buffer under that buffer's own (uncontended) mutex; the mutex exists
+// only so the exporter can read buffers of live threads safely.
+//
+// Buffers are registered in a process-wide collector and held by
+// shared_ptr from both the collector and a thread_local, so events
+// survive thread exit (pool workers) and the exporter sees every
+// thread. Thread ids are assigned sequentially in registration order —
+// stable and human-readable in the Perfetto UI (tid 1 = main thread,
+// 2..N = workers in spawn order).
+//
+// Export format: {"traceEvents":[{"name","cat","ph":"X","ts","dur",
+// "pid","tid"}]}, ts/dur in microseconds since process start —
+// loadable in Perfetto / chrome://tracing. The "cat" field is derived
+// from the span name's prefix before the first '.' ("simplex.solve"
+// -> "simplex"), which gives Perfetto a useful per-subsystem grouping
+// for free.
+//
+// Compile-time kill switch: -DNEUROPLAN_DISABLE_TRACING turns NP_SPAN
+// into ((void)0) for builds that must not even pay the atomic load.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdio>
+
+namespace np::obs {
+
+/// Microseconds since process start (steady clock) — the trace
+/// timebase, also used for thread-pool task latency.
+double now_us();
+
+/// Runtime gate; off by default. set_trace_out() (obs.hpp) switches it
+/// on. Spans check it once, in the constructor.
+bool tracing_enabled();
+void set_tracing_enabled(bool enabled);
+
+/// Total events currently buffered across all threads.
+std::size_t trace_event_count();
+
+/// Events dropped because a thread hit its buffer cap.
+std::size_t trace_dropped_count();
+
+/// Discard all buffered events (buffers stay registered).
+void clear_trace();
+
+/// Write the Chrome trace-event JSON document for everything buffered
+/// so far. Returns the number of events written.
+std::size_t write_chrome_trace(std::FILE* out);
+
+namespace detail {
+struct ThreadBuffer;
+ThreadBuffer& thread_buffer();
+void record_span(ThreadBuffer& buffer, const char* name, double start_us,
+                 double end_us);
+}  // namespace detail
+
+/// RAII complete-event span. `name` must be a string literal (or
+/// otherwise outlive the export) — spans store the pointer, not a copy.
+class Span {
+ public:
+  explicit Span(const char* name)
+      : name_(tracing_enabled() ? name : nullptr),
+        start_us_(name_ != nullptr ? now_us() : 0.0) {}
+  ~Span() {
+    if (name_ != nullptr) {
+      detail::record_span(detail::thread_buffer(), name_, start_us_, now_us());
+    }
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_;
+  double start_us_;
+};
+
+}  // namespace np::obs
+
+#define NP_SPAN_CONCAT_INNER(a, b) a##b
+#define NP_SPAN_CONCAT(a, b) NP_SPAN_CONCAT_INNER(a, b)
+
+#ifdef NEUROPLAN_DISABLE_TRACING
+#define NP_SPAN(name) ((void)0)
+#else
+/// Scoped trace span: NP_SPAN("simplex.solve"); — ends at scope exit.
+#define NP_SPAN(name) \
+  ::np::obs::Span NP_SPAN_CONCAT(np_span_, __LINE__)(name)
+#endif

@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 #include "util/check.hpp"
 
 namespace np::plan {
@@ -75,14 +77,23 @@ CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
     last_units_ = total_units;
   }
 #endif
+  NP_SPAN("plan.check");
+  static obs::Counter& checks = obs::counter("plan.checks");
+  static obs::Counter& scenarios_checked = obs::counter("plan.scenarios_checked");
+  static obs::Counter& scenarios_skipped = obs::counter("plan.scenarios_skipped");
+  checks.add(1);
   CheckResult aggregate;
   const int start = mode_ == EvaluatorMode::kStateful ? next_unchecked_ : 0;
+  // Scenarios below `start` were survived earlier in the trajectory and
+  // are short-circuited by stateful checking — the paper's §5 speedup.
+  scenarios_skipped.add(start);
   for (int scenario = start; scenario < num_scenarios(); ++scenario) {
     const CheckResult one = check_scenario(scenario, total_units);
     aggregate.lp_iterations += one.lp_iterations;
     aggregate.lp_seconds += one.lp_seconds;
     total_lp_iterations_ += one.lp_iterations;
     total_lp_seconds_ += one.lp_seconds;
+    scenarios_checked.add(1);
     ++aggregate.scenarios_checked;
     if (!one.feasible) {
       aggregate.feasible = false;

@@ -3,6 +3,9 @@
 #include <functional>
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace np::plan {
 
 ParallelPlanEvaluator::ParallelPlanEvaluator(const topo::Topology& topology,
@@ -38,7 +41,16 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
   std::vector<long> iterations_per_thread(threads_, 0);
   std::vector<double> seconds_per_thread(threads_, 0.0);
 
+  NP_SPAN("plan.parallel_check");
+  static obs::Counter& checks = obs::counter("plan.parallel_checks");
+  static obs::Counter& scenarios_checked = obs::counter("plan.scenarios_checked");
+  checks.add(1);
+  scenarios_checked.add(num_scenarios());
+
   auto worker = [&](int t) {
+    // One span per scenario group — on the pool's worker threads, so a
+    // trace shows the per-thread overlap (and any straggler group).
+    NP_SPAN("plan.scenario_group");
     for (std::size_t k = 0; k < groups_[t].size(); ++k) {
       const int scenario = groups_[t][k];
       if (!cached_[t][k].has_value()) {

@@ -4,6 +4,9 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace np::plan {
 
 namespace {
@@ -163,19 +166,40 @@ void set_plan_capacities(ScenarioLp& lp, const topo::Topology& topology,
 
 ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_options,
                              bool use_warm_start) {
+  NP_SPAN("plan.solve_scenario");
+  static obs::Counter& scenario_solves = obs::counter("plan.scenario_solves");
+  scenario_solves.add(1);
   lp::SimplexOptions options = base_options;
   options.warm_start = (use_warm_start && lp.has_basis) ? &lp.basis : nullptr;
+  const bool attempted_warm = options.warm_start != nullptr;
   lp::Solution solution = lp::solve(lp.model, options);
   if (solution.status != lp::SolveStatus::kOptimal &&
       options.warm_start != nullptr) {
     // The elastic LP is feasible and bounded by construction, so any
     // non-optimal verdict out of a warm solve is an artifact of the
     // stale basis; retry cold before reporting it.
+    static obs::Counter& cold_retries = obs::counter("plan.cold_retries");
+    cold_retries.add(1);
     options.warm_start = nullptr;
     lp::Solution retry = lp::solve(lp.model, options);
     retry.iterations += solution.iterations;
     retry.solve_seconds += solution.solve_seconds;
     solution = std::move(retry);
+  }
+  // Warm-start hit rate: a hit is a warm attempt that finished on the
+  // warm path (primal or after dual repair), a miss is one that fell
+  // back to a cold start inside the simplex or via the retry above.
+  if (attempted_warm) {
+    const bool hit = solution.start_path == lp::StartPath::kWarmPrimal ||
+                     solution.start_path == lp::StartPath::kDualRepair;
+    static obs::Counter& hits = obs::counter("plan.warm_start_hits");
+    static obs::Counter& misses = obs::counter("plan.warm_start_misses");
+    (hit ? hits : misses).add(1);
+  }
+  if (obs::detail_enabled()) {
+    static obs::Histogram& solve_us = obs::histogram(
+        "plan.scenario_solve_us", obs::exponential_buckets(1.0, 4.0, 12));
+    solve_us.observe(solution.solve_seconds * 1e6);
   }
   ScenarioCheck check;
   check.lp_iterations = solution.iterations;

@@ -6,8 +6,44 @@
 #include <stdexcept>
 
 #include "ad/tape.hpp"
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
 
 namespace np::rl {
+
+namespace {
+
+/// Episode-level reward/length stats, observed once per finished
+/// trajectory. Returns are sums of (negative) cost-shaped rewards, so
+/// the return buckets are symmetric around zero; lengths are positive.
+void record_episode(int length, double episode_return) {
+  static obs::Histogram& lengths = obs::histogram(
+      "rl.episode_length", obs::exponential_buckets(1.0, 2.0, 12));
+  static obs::Histogram& returns = obs::histogram(
+      "rl.episode_return",
+      {-1e4, -1e3, -100.0, -10.0, -1.0, 0.0, 1.0, 10.0, 100.0, 1e3, 1e4});
+  lengths.observe(static_cast<double>(length));
+  returns.observe(episode_return);
+}
+
+/// Rollout volume counters, bumped once per collect() call.
+void record_rollout_totals(const std::vector<WorkerRollout>& rollouts) {
+  long steps = 0, trajectories = 0, feasible = 0;
+  for (const WorkerRollout& r : rollouts) {
+    steps += static_cast<long>(r.records.size());
+    trajectories += r.trajectories;
+    feasible += r.feasible_trajectories;
+  }
+  static obs::Counter& env_steps = obs::counter("rl.env_steps");
+  static obs::Counter& trajectories_counter = obs::counter("rl.trajectories");
+  static obs::Counter& feasible_counter =
+      obs::counter("rl.feasible_trajectories");
+  env_steps.add(steps);
+  trajectories_counter.add(trajectories);
+  feasible_counter.add(feasible);
+}
+
+}  // namespace
 
 int sample_from_log_probs(const la::Matrix& log_probs,
                           const std::vector<std::uint8_t>& mask, Rng& rng) {
@@ -69,12 +105,15 @@ std::vector<WorkerRollout> RolloutWorkers::collect(int total_steps) {
   if (total_steps < 1) {
     throw std::invalid_argument("RolloutWorkers::collect: total_steps < 1");
   }
+  NP_SPAN("rollout.collect");
+  std::vector<WorkerRollout> out;
   if (borrowed_env_ != nullptr) {
-    std::vector<WorkerRollout> out;
     out.push_back(collect_serial(*borrowed_env_, *borrowed_rng_, total_steps));
-    return out;
+  } else {
+    out = collect_lockstep(total_steps);
   }
-  return collect_lockstep(total_steps);
+  record_rollout_totals(out);
+  return out;
 }
 
 WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
@@ -85,6 +124,7 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
   WorkerRollout rollout;
   rollout.records.reserve(steps);
   double trajectory_return = 0.0;
+  int episode_length = 0;
 
   env.reset();
   while (static_cast<int>(rollout.records.size()) < steps) {
@@ -93,6 +133,7 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
     record.mask = env.action_mask();
 
     {
+      NP_SPAN("rollout.forward");
       ad::Tape tape;
       ad::Tensor log_probs = network_.policy_log_probs(tape, env.adjacency(),
                                                        record.features, record.mask);
@@ -102,16 +143,23 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
       record.value = tape.value(value)(0, 0);
     }
 
-    const StepResult step = env.step(record.action);
+    StepResult step;
+    {
+      NP_SPAN("rollout.env_step");
+      step = env.step(record.action);
+    }
     record.reward = step.reward;
     record.terminal = step.done;
     trajectory_return += step.reward;
+    ++episode_length;
     rollout.records.push_back(std::move(record));
 
     if (step.done) {
       ++rollout.trajectories;
       rollout.return_sum += trajectory_return;
+      record_episode(episode_length, trajectory_return);
       trajectory_return = 0.0;
+      episode_length = 0;
       if (step.feasible) {
         ++rollout.feasible_trajectories;
         const double cost = env.added_cost();
@@ -139,10 +187,20 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
 
   std::vector<WorkerRollout> rollouts(k);
   std::vector<double> trajectory_return(k, 0.0);
+  std::vector<int> episode_length(k, 0);
   for (int w = 0; w < k; ++w) {
     rollouts[w].records.reserve(quota[w]);
     envs_[w]->reset();
   }
+
+  // Worker utilization: active_worker_steps / (rounds * workers) is the
+  // fraction of lockstep slots doing useful work (tail rounds run with
+  // fewer active workers once quotas fill up).
+  static obs::Counter& rounds_counter = obs::counter("rollout.rounds");
+  static obs::Counter& active_steps_counter =
+      obs::counter("rollout.active_worker_steps");
+  static obs::Gauge& workers_gauge = obs::gauge("rollout.workers");
+  workers_gauge.set(static_cast<double>(k));
 
   std::vector<int> active;
   std::vector<la::Matrix> features(k);
@@ -155,6 +213,8 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
       if (static_cast<int>(rollouts[w].records.size()) < quota[w]) active.push_back(w);
     }
     if (active.empty()) break;
+    rounds_counter.add(1);
+    active_steps_counter.add(static_cast<long>(active.size()));
 
     // One batched policy+value forward over all active workers' states.
     std::vector<const la::Matrix*> feature_parts;
@@ -169,36 +229,42 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
     }
 
     ad::Tape tape;
-    const la::Matrix stacked = la::vstack(feature_parts);
-    auto forward = network_.forward_batch(
-        tape, adjacency_cache_->get(static_cast<int>(active.size())), stacked,
-        mask_parts, /*want_values=*/true);
+    {
+      NP_SPAN("rollout.forward");
+      const la::Matrix stacked = la::vstack(feature_parts);
+      auto forward = network_.forward_batch(
+          tape, adjacency_cache_->get(static_cast<int>(active.size())), stacked,
+          mask_parts, /*want_values=*/true);
 
-    // Sample in ascending worker order, each from its own RNG stream:
-    // the draw sequence depends only on (seed, worker), not scheduling.
-    for (std::size_t s = 0; s < active.size(); ++s) {
-      const int w = active[s];
-      StepRecord record;
-      record.features = std::move(features[w]);
-      record.mask = std::move(masks[w]);
-      record.action =
-          sample_from_log_probs(tape.value(forward.log_probs[s]), record.mask, rngs_[w]);
-      record.log_prob = tape.value(forward.log_probs[s])(0, record.action);
-      record.value = tape.value(forward.values[s])(0, 0);
-      rollouts[w].records.push_back(std::move(record));
+      // Sample in ascending worker order, each from its own RNG stream:
+      // the draw sequence depends only on (seed, worker), not scheduling.
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        const int w = active[s];
+        StepRecord record;
+        record.features = std::move(features[w]);
+        record.mask = std::move(masks[w]);
+        record.action =
+            sample_from_log_probs(tape.value(forward.log_probs[s]), record.mask, rngs_[w]);
+        record.log_prob = tape.value(forward.log_probs[s])(0, record.action);
+        record.value = tape.value(forward.values[s])(0, 0);
+        rollouts[w].records.push_back(std::move(record));
+      }
     }
 
-    // Env stepping (the LP feasibility checks dominate here) runs on the
-    // pool; each task touches only its own env, results land per slot.
-    std::vector<std::function<void()>> tasks;
-    tasks.reserve(active.size());
-    for (int w : active) {
-      const int action = rollouts[w].records.back().action;
-      tasks.push_back([this, w, action, &results] {
-        results[w] = envs_[w]->step(action);
-      });
+    {
+      // Env stepping (the LP feasibility checks dominate here) runs on the
+      // pool; each task touches only its own env, results land per slot.
+      NP_SPAN("rollout.env_step");
+      std::vector<std::function<void()>> tasks;
+      tasks.reserve(active.size());
+      for (int w : active) {
+        const int action = rollouts[w].records.back().action;
+        tasks.push_back([this, w, action, &results] {
+          results[w] = envs_[w]->step(action);
+        });
+      }
+      pool_->run_all(std::move(tasks));
     }
-    pool_->run_all(std::move(tasks));
 
     // Post-process in ascending worker order (stats merging is ordered).
     for (int w : active) {
@@ -207,10 +273,13 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
       record.reward = step.reward;
       record.terminal = step.done;
       trajectory_return[w] += step.reward;
+      ++episode_length[w];
       if (step.done) {
         ++rollouts[w].trajectories;
         rollouts[w].return_sum += trajectory_return[w];
+        record_episode(episode_length[w], trajectory_return[w]);
         trajectory_return[w] = 0.0;
+        episode_length[w] = 0;
         if (step.feasible) {
           ++rollouts[w].feasible_trajectories;
           const double cost = envs_[w]->added_cost();

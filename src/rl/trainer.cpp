@@ -4,6 +4,7 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/obs.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 
@@ -51,6 +52,7 @@ A2cTrainer::A2cTrainer(const topo::Topology& topology, const TrainConfig& config
 }
 
 EpochStats A2cTrainer::run_epoch() {
+  NP_SPAN("train.epoch");
   Stopwatch watch;
   EpochStats stats;
   stats.epoch = ++epoch_counter_;
@@ -102,14 +104,42 @@ EpochStats A2cTrainer::run_epoch() {
   }
   normalize_advantages(advantages);
 
-  for (int it = 0; it < std::max(1, config_.update_iterations); ++it) {
-    update_policy(buffer, advantages);
-    update_critic(buffer, rewards_to_go);
+  Stopwatch update_watch;
+  {
+    NP_SPAN("train.update");
+    for (int it = 0; it < std::max(1, config_.update_iterations); ++it) {
+      update_policy(buffer, advantages);
+      update_critic(buffer, rewards_to_go);
+    }
   }
+  const double update_seconds = update_watch.seconds();
 
   if (stats.trajectories > 0) stats.mean_return = return_sum / stats.trajectories;
   stats.best_cost_so_far = best_cost_;
   stats.seconds = watch.seconds();
+
+  // Per-epoch telemetry: where the epoch's wall clock went plus the
+  // learning signal, then one JSONL record per training iteration when
+  // a metrics sink is configured (the registry snapshot rides along).
+  {
+    static obs::Counter& epochs = obs::counter("train.epochs");
+    static obs::Counter& steps = obs::counter("train.steps");
+    static obs::Gauge& mean_return = obs::gauge("train.mean_return");
+    static obs::Gauge& best_cost = obs::gauge("train.best_cost_so_far");
+    static obs::Gauge& epoch_seconds = obs::gauge("train.epoch_seconds");
+    static obs::Gauge& rollout_seconds = obs::gauge("train.rollout_seconds");
+    static obs::Gauge& update_seconds_gauge = obs::gauge("train.update_seconds");
+    epochs.add(1);
+    steps.add(stats.steps);
+    mean_return.set(stats.mean_return);
+    if (stats.best_cost_so_far != kUnset) best_cost.set(stats.best_cost_so_far);
+    epoch_seconds.set(stats.seconds);
+    rollout_seconds.set(stats.rollout_seconds);
+    update_seconds_gauge.set(update_seconds);
+  }
+  if (obs::metrics_out_open()) {
+    obs::emit_metrics_record("train_epoch", stats.epoch);
+  }
   return stats;
 }
 
@@ -128,6 +158,7 @@ la::Matrix stack_chunk_features(const std::vector<StepRecord>& buffer,
 
 void A2cTrainer::update_policy(const std::vector<StepRecord>& buffer,
                                const std::vector<double>& advantages) {
+  NP_SPAN("train.update_policy");
   actor_optimizer_.zero_grad();
   const double inv_n = 1.0 / static_cast<double>(buffer.size());
   for (std::size_t begin = 0; begin < buffer.size(); begin += config_.chunk_steps) {
@@ -189,6 +220,7 @@ void A2cTrainer::update_policy(const std::vector<StepRecord>& buffer,
 
 void A2cTrainer::update_critic(const std::vector<StepRecord>& buffer,
                                const std::vector<double>& rewards_to_go) {
+  NP_SPAN("train.update_critic");
   critic_optimizer_.zero_grad();
   const double inv_n = 1.0 / static_cast<double>(buffer.size());
   for (std::size_t begin = 0; begin < buffer.size(); begin += config_.chunk_steps) {

@@ -4,6 +4,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "util/check.hpp"
+
 namespace np::topo {
 
 namespace {
@@ -174,7 +176,31 @@ Topology load(std::istream& in) {
 std::string to_text(const Topology& topo) {
   std::ostringstream os;
   save(topo, os);
-  return os.str();
+  std::string text = os.str();
+#if NP_CHECKS_ENABLED
+  // Round-trip postcondition: the emitted text must parse back into an
+  // equivalent topology, and re-serializing the reparsed topology must
+  // reproduce the text bit-for-bit (the formatter is a deterministic
+  // function of parsed values, so any difference means a lossy field).
+  {
+    const Topology reparsed = from_text(text);
+    NP_ASSERT(reparsed.name() == topo.name(), "topo round-trip: name mismatch");
+    NP_ASSERT(reparsed.num_sites() == topo.num_sites(),
+              "topo round-trip: site count");
+    NP_ASSERT(reparsed.num_fibers() == topo.num_fibers(),
+              "topo round-trip: fiber count");
+    NP_ASSERT(reparsed.num_links() == topo.num_links(),
+              "topo round-trip: link count");
+    NP_ASSERT(reparsed.num_flows() == topo.num_flows(),
+              "topo round-trip: flow count");
+    NP_ASSERT(reparsed.num_failures() == topo.num_failures(),
+              "topo round-trip: failure count");
+    std::ostringstream os2;
+    save(reparsed, os2);
+    NP_ASSERT(os2.str() == text, "topo round-trip: re-serialized text differs");
+  }
+#endif
+  return text;
 }
 
 Topology from_text(const std::string& text) {
@@ -185,7 +211,8 @@ Topology from_text(const std::string& text) {
 void save_file(const Topology& topo, const std::string& path) {
   std::ofstream out(path);
   if (!out) throw std::runtime_error("cannot open for writing: " + path);
-  save(topo, out);
+  // Route through to_text so files get the round-trip postcondition.
+  out << to_text(topo);
 }
 
 Topology load_file(const std::string& path) {

@@ -68,6 +68,18 @@ void check_csr(std::size_t rows, std::size_t cols,
   }
 }
 
+void check_dims(std::size_t rows, std::size_t cols, long expected_rows,
+                long expected_cols, const char* where) {
+  if (expected_rows >= 0 && rows != static_cast<std::size_t>(expected_rows)) {
+    fail(where, detail::concat("shape (", rows, " x ", cols, ") has ", rows,
+                               " rows, expected ", expected_rows));
+  }
+  if (expected_cols >= 0 && cols != static_cast<std::size_t>(expected_cols)) {
+    fail(where, detail::concat("shape (", rows, " x ", cols, ") has ", cols,
+                               " cols, expected ", expected_cols));
+  }
+}
+
 void check_finite(const double* data, std::size_t count, const char* where) {
   for (std::size_t i = 0; i < count; ++i) {
     if (!std::isfinite(data[i])) {

@@ -76,6 +76,14 @@ void check_action_mask(const std::vector<std::uint8_t>& mask,
 void check_monotone_units(const std::vector<int>& previous,
                           const std::vector<int>& current, const char* where);
 
+/// Matrix-shape invariant for nn parameter plumbing: actual dims must
+/// equal the expected dims, where an expected value of -1 is a
+/// wildcard (any extent). Used for GCN/GAT/linear layer inputs whose
+/// width is fixed by the layer's parameters while the row count (nodes
+/// or batch) is free.
+void check_dims(std::size_t rows, std::size_t cols, long expected_rows,
+                long expected_cols, const char* where);
+
 /// Sparse LU factorization invariants (basis refactorization in
 /// np::lp): all index spaces are pivot positions 0..dim-1. `lower[k]`
 /// holds L's strictly-below-diagonal entries of column k (unit diagonal
@@ -126,6 +134,9 @@ std::string concat(const Args&... args) {
 #define NP_CHECK_LU(dim, lower, upper, diag, permuted_columns, tolerance, where) \
   ::np::util::check_lu((dim), (lower), (upper), (diag), (permuted_columns),      \
                        (tolerance), (where))
+#define NP_CHECK_DIMS(rows, cols, expected_rows, expected_cols, where) \
+  ::np::util::check_dims((rows), (cols), (expected_rows), (expected_cols), \
+                         (where))
 
 #else
 
@@ -137,5 +148,6 @@ std::string concat(const Args&... args) {
 #define NP_CHECK_MONOTONE_UNITS(previous, current, where) ((void)0)
 #define NP_CHECK_LU(dim, lower, upper, diag, permuted_columns, tolerance, where) \
   ((void)0)
+#define NP_CHECK_DIMS(rows, cols, expected_rows, expected_cols, where) ((void)0)
 
 #endif  // NP_CHECKS_ENABLED

@@ -1,11 +1,20 @@
 #include "util/log.hpp"
 
+#include <atomic>
 #include <cstdio>
+#include <mutex>
 
 namespace np {
 
 namespace {
-LogLevel g_level = LogLevel::kWarn;
+// Relaxed is fine for the level: a racing set_log_level only decides
+// whether a concurrent message is dropped, never corrupts anything.
+std::atomic<LogLevel> g_level{LogLevel::kWarn};
+
+// Serializes whole lines: worker threads (RolloutWorkers,
+// ParallelPlanEvaluator) log concurrently, and a single fprintf is not
+// guaranteed atomic with respect to other writers of the same stream.
+std::mutex g_write_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -19,13 +28,17 @@ const char* tag(LogLevel level) {
 }
 }  // namespace
 
-void set_log_level(LogLevel level) { g_level = level; }
-LogLevel log_level() { return g_level; }
+void set_log_level(LogLevel level) {
+  g_level.store(level, std::memory_order_relaxed);
+}
+LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view message) {
-  if (level < g_level) return;
+  if (level < log_level()) return;
+  std::lock_guard<std::mutex> lock(g_write_mutex);
   std::fprintf(stderr, "[np %s] %.*s\n", tag(level),
                static_cast<int>(message.size()), message.data());
+  std::fflush(stderr);
 }
 
 }  // namespace np

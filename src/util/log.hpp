@@ -1,5 +1,7 @@
-// Minimal leveled logger. Not thread-safe by design: the project is
-// single-threaded and deterministic; a mutex would suggest otherwise.
+// Minimal leveled logger. Thread-safe: worker threads (rollout
+// workers, parallel evaluator groups) log concurrently, so each line
+// is written to stderr under a process-wide mutex and the level
+// threshold is atomic. Formatting happens outside the lock.
 #pragma once
 
 #include <sstream>

@@ -2,7 +2,36 @@
 
 #include <stdexcept>
 
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
 namespace np::util {
+
+namespace {
+
+// Pool telemetry: how many tasks flow through, how deep the queue
+// gets, and how long tasks wait before a worker picks them up — the
+// "are workers starving or drowning" signals. All lock-free updates on
+// instruments cached once per process.
+obs::Counter& tasks_counter() {
+  static obs::Counter& c = obs::counter("pool.tasks");
+  return c;
+}
+
+obs::Gauge& queue_depth_gauge() {
+  static obs::Gauge& g = obs::gauge("pool.queue_depth");
+  return g;
+}
+
+obs::Histogram& queue_latency_histogram() {
+  // 1us .. ~4s: pool tasks are scenario groups / env-step rounds, so
+  // waits span from "popped immediately" to "behind a full round".
+  static obs::Histogram& h =
+      obs::histogram("pool.task_queue_us", obs::exponential_buckets(1.0, 4.0, 12));
+  return h;
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int workers) {
   if (workers < 0) throw std::invalid_argument("ThreadPool: negative worker count");
@@ -23,30 +52,34 @@ ThreadPool::~ThreadPool() {
 
 void ThreadPool::worker_loop() {
   for (;;) {
-    std::packaged_task<void()> task;
+    QueuedTask item;
     {
       std::unique_lock<std::mutex> lock(mutex_);
       ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       if (queue_.empty()) return;  // stopping_ with a drained queue
-      task = std::move(queue_.front());
+      item = std::move(queue_.front());
       queue_.pop();
     }
-    task();  // packaged_task stores any exception in the future
+    queue_depth_gauge().add(-1.0);
+    queue_latency_histogram().observe(obs::now_us() - item.enqueue_us);
+    item.task();  // packaged_task stores any exception in the future
   }
 }
 
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> wrapped(std::move(task));
   std::future<void> result = wrapped.get_future();
+  tasks_counter().add(1);
   if (threads_.empty()) {
-    wrapped();
+    wrapped();  // inline execution never queues: no depth/latency signal
     return result;
   }
   {
     std::lock_guard<std::mutex> lock(mutex_);
     if (stopping_) throw std::logic_error("ThreadPool::submit: pool is stopping");
-    queue_.push(std::move(wrapped));
+    queue_.push(QueuedTask{std::move(wrapped), obs::now_us()});
   }
+  queue_depth_gauge().add(1.0);
   ready_.notify_one();
   return result;
 }
@@ -54,6 +87,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   if (tasks.empty()) return;
   if (threads_.empty()) {
+    tasks_counter().add(static_cast<long>(tasks.size()));
     for (auto& task : tasks) task();  // inline; first exception propagates as-is
     return;
   }
@@ -62,6 +96,7 @@ void ThreadPool::run_all(std::vector<std::function<void()>> tasks) {
   for (std::size_t i = 1; i < tasks.size(); ++i) {
     pending.push_back(submit(std::move(tasks[i])));
   }
+  tasks_counter().add(1);  // tasks[0] runs on the caller, bypassing submit()
   std::exception_ptr first;
   try {
     tasks[0]();

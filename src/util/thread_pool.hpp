@@ -43,10 +43,17 @@ class ThreadPool {
   static int hardware_threads();
 
  private:
+  /// Queue entry: the task plus its enqueue timestamp (obs::now_us
+  /// timebase) so the pop side can record time-in-queue.
+  struct QueuedTask {
+    std::packaged_task<void()> task;
+    double enqueue_us = 0.0;
+  };
+
   void worker_loop();
 
   std::vector<std::thread> threads_;
-  std::queue<std::packaged_task<void()>> queue_;
+  std::queue<QueuedTask> queue_;
   std::mutex mutex_;
   std::condition_variable ready_;
   bool stopping_ = false;

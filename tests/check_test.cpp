@@ -104,6 +104,21 @@ TEST(CheckValidators, MonotoneUnitsRejectsDecrease) {
                ContractViolation);  // size change
 }
 
+// ---- matrix-dimension validator (nn feature-width contracts) ----
+
+TEST(CheckValidators, DimsAcceptsMatchAndWildcard) {
+  EXPECT_NO_THROW(util::check_dims(3, 4, 3, 4, "test"));
+  EXPECT_NO_THROW(util::check_dims(3, 4, -1, 4, "test"));  // -1 = any rows
+  EXPECT_NO_THROW(util::check_dims(3, 4, 3, -1, "test"));  // -1 = any cols
+  EXPECT_NO_THROW(util::check_dims(3, 4, -1, -1, "test"));
+}
+
+TEST(CheckValidators, DimsRejectsMismatch) {
+  EXPECT_THROW(util::check_dims(3, 4, 2, 4, "test"), ContractViolation);
+  EXPECT_THROW(util::check_dims(3, 4, -1, 5, "test"),
+               ContractViolation);  // feature-width divergence
+}
+
 // ---- macro layer: armed in Debug/sanitizer builds, free in Release ----
 
 TEST(CheckMacros, AssertFiresExactlyWhenEnabled) {

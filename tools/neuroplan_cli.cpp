@@ -9,6 +9,14 @@
 //       [--rollout-workers N] [--batched-updates]      train + checkpoint an agent
 //   neuroplan_cli report <topo> <plan-file>            operator report for a plan
 //
+// Global flags (any command, position-independent):
+//   --metrics-out <file.jsonl>   JSONL metrics registry snapshots (one
+//                                record per training epoch + a final one)
+//   --trace-out <file.json>      Chrome trace-event JSON of NP_SPAN
+//                                scopes, loadable in Perfetto
+// The NEUROPLAN_METRICS_OUT / NEUROPLAN_TRACE_OUT environment variables
+// set the same outputs; the flags win when both are given.
+//
 // `plan ... neuroplan` honors NEUROPLAN_AGENT=<ckpt>: the agent loads
 // the checkpoint before (briefly) fine-tuning, so trained policies are
 // reusable across planning cycles. NEUROPLAN_ROLLOUT_WORKERS=<K> sets
@@ -29,6 +37,7 @@
 #include "core/baselines.hpp"
 #include "core/decomposition.hpp"
 #include "core/neuroplan.hpp"
+#include "obs/obs.hpp"
 #include "plan/evaluator.hpp"
 #include "plan/report.hpp"
 #include "topo/generator.hpp"
@@ -50,7 +59,9 @@ int usage() {
                "decomposition> [out.plan]\n"
                "  neuroplan_cli train <topo> <agent.ckpt> [epochs]"
                " [--rollout-workers N] [--batched-updates]\n"
-               "  neuroplan_cli report <topo> <plan-file>\n");
+               "  neuroplan_cli report <topo> <plan-file>\n"
+               "global flags: [--metrics-out <file.jsonl>]"
+               " [--trace-out <file.json>]\n");
   return 2;
 }
 
@@ -245,18 +256,41 @@ int cmd_report(int argc, char** argv) {
 
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
+  obs::configure_from_env();
+  // Strip the global observability flags before command dispatch so
+  // subcommand parsers (which reject unknown flags) never see them.
+  std::vector<char*> args;
+  args.reserve(argc);
+  for (int i = 0; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--metrics-out" || arg == "--trace-out") {
+      if (i + 1 >= argc) return usage();
+      if (arg == "--metrics-out") {
+        obs::set_metrics_out(argv[++i]);
+      } else {
+        obs::set_trace_out(argv[++i]);
+      }
+      continue;
+    }
+    args.push_back(argv[i]);
+  }
+  argc = static_cast<int>(args.size());
+  argv = args.data();
   if (argc < 2) return usage();
+  int rc = 2;
   try {
     const std::string command = argv[1];
-    if (command == "generate") return cmd_generate(argc, argv);
-    if (command == "show") return cmd_show(argc, argv);
-    if (command == "evaluate") return cmd_evaluate(argc, argv);
-    if (command == "plan") return cmd_plan(argc, argv);
-    if (command == "train") return cmd_train(argc, argv);
-    if (command == "report") return cmd_report(argc, argv);
-    return usage();
+    if (command == "generate") rc = cmd_generate(argc, argv);
+    else if (command == "show") rc = cmd_show(argc, argv);
+    else if (command == "evaluate") rc = cmd_evaluate(argc, argv);
+    else if (command == "plan") rc = cmd_plan(argc, argv);
+    else if (command == "train") rc = cmd_train(argc, argv);
+    else if (command == "report") rc = cmd_report(argc, argv);
+    else rc = usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
-    return 1;
+    rc = 1;
   }
+  obs::shutdown();  // write the trace file + final metrics record
+  return rc;
 }

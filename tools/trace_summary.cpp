@@ -1,0 +1,135 @@
+// trace_summary — aggregate a Chrome trace-event JSON (as written by
+// --trace-out / obs::write_chrome_trace) into per-category and
+// per-span time tables, so a trace can be skimmed in the terminal
+// before (or instead of) opening Perfetto.
+//
+//   trace_summary <trace.json> [top_n]
+//
+// The parser is deliberately small: it scans the "traceEvents" array
+// for flat {...} objects and extracts the name/cat/dur/ph fields. That
+// covers everything our exporter emits (complete events, no nested
+// objects, no braces inside strings) without pulling a JSON library
+// into the repo.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+struct Aggregate {
+  long count = 0;
+  double total_us = 0.0;
+  double max_us = 0.0;
+};
+
+/// Extract `"key":"..."` from a flat JSON object body.
+bool extract_string(const std::string& object, const std::string& key,
+                    std::string& out) {
+  const std::string needle = "\"" + key + "\":\"";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return false;
+  const std::size_t begin = at + needle.size();
+  const std::size_t end = object.find('"', begin);
+  if (end == std::string::npos) return false;
+  out = object.substr(begin, end - begin);
+  return true;
+}
+
+/// Extract `"key":<number>` from a flat JSON object body.
+bool extract_number(const std::string& object, const std::string& key,
+                    double& out) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = object.find(needle);
+  if (at == std::string::npos) return false;
+  out = std::strtod(object.c_str() + at + needle.size(), nullptr);
+  return true;
+}
+
+void print_table(const char* title,
+                 const std::map<std::string, Aggregate>& rows, int top_n) {
+  std::vector<std::pair<std::string, Aggregate>> sorted(rows.begin(),
+                                                        rows.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second.total_us > b.second.total_us;
+  });
+  std::printf("%s\n", title);
+  std::printf("  %-28s %10s %12s %12s %12s\n", "name", "events", "total_ms",
+              "mean_us", "max_us");
+  int shown = 0;
+  for (const auto& [name, agg] : sorted) {
+    if (top_n > 0 && shown++ >= top_n) {
+      std::printf("  ... %zu more\n", sorted.size() - static_cast<std::size_t>(top_n));
+      break;
+    }
+    std::printf("  %-28s %10ld %12.2f %12.1f %12.1f\n", name.c_str(), agg.count,
+                agg.total_us / 1000.0, agg.total_us / agg.count, agg.max_us);
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: trace_summary <trace.json> [top_n]\n");
+    return 2;
+  }
+  const int top_n = argc > 2 ? std::atoi(argv[2]) : 20;
+
+  std::ifstream in(argv[1]);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", argv[1]);
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  const std::string text = buffer.str();
+
+  std::size_t pos = text.find("\"traceEvents\"");
+  if (pos == std::string::npos) {
+    std::fprintf(stderr, "%s: no traceEvents array found\n", argv[1]);
+    return 1;
+  }
+
+  std::map<std::string, Aggregate> by_category;
+  std::map<std::string, Aggregate> by_name;
+  long events = 0;
+  double total_us = 0.0;
+  while ((pos = text.find('{', pos)) != std::string::npos) {
+    const std::size_t close = text.find('}', pos);
+    if (close == std::string::npos) break;
+    const std::string object = text.substr(pos, close - pos + 1);
+    pos = close + 1;
+
+    std::string ph, name, cat;
+    double dur = 0.0;
+    if (!extract_string(object, "ph", ph) || ph != "X") continue;
+    if (!extract_string(object, "name", name)) continue;
+    if (!extract_string(object, "cat", cat)) cat = name;
+    if (!extract_number(object, "dur", dur)) continue;
+
+    ++events;
+    total_us += dur;
+    for (auto* agg : {&by_category[cat], &by_name[name]}) {
+      ++agg->count;
+      agg->total_us += dur;
+      agg->max_us = std::max(agg->max_us, dur);
+    }
+  }
+
+  if (events == 0) {
+    std::printf("%s: no complete (ph=X) events\n", argv[1]);
+    return 0;
+  }
+  std::printf("%s: %ld events, %.2f ms total span time (spans nest, so "
+              "categories overlap)\n\n",
+              argv[1], events, total_us / 1000.0);
+  print_table("per category:", by_category, 0);
+  std::printf("\n");
+  print_table("per span:", by_name, top_n);
+  return 0;
+}
