@@ -39,6 +39,12 @@ class Adam {
   std::size_t parameter_count() const { return params_.size(); }
   const AdamConfig& config() const { return config_; }
 
+  /// Adam bias-correction timestep, exposed for crash-safe checkpoints:
+  /// a resumed optimizer must continue the t-dependent correction
+  /// exactly where the interrupted run stopped.
+  long timestep() const { return t_; }
+  void set_timestep(long t) { t_ = t; }
+
  private:
   AdamConfig config_;
   std::vector<Parameter*> params_;

@@ -1,0 +1,124 @@
+#include "ad/snapshot.hpp"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <stdexcept>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#define NP_SNAPSHOT_HAS_FSYNC 1
+#else
+#define NP_SNAPSHOT_HAS_FSYNC 0
+#endif
+
+#include "obs/metrics.hpp"
+#include "util/fault.hpp"
+
+namespace np::ad {
+
+namespace {
+
+constexpr const char* kMagic = "neuroplan-snapshot";
+
+[[noreturn]] void corrupt(const std::string& path, const std::string& why) {
+  throw std::runtime_error("snapshot '" + path + "': " + why);
+}
+
+}  // namespace
+
+std::uint64_t fnv1a64(std::string_view bytes) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : bytes) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+void write_snapshot_file(const std::string& path, const std::string& kind,
+                         const std::string& payload) {
+  static obs::Counter& saves = obs::counter("ckpt.saves");
+  if (kind.empty() || kind.find_first_of(" \t\n") != std::string::npos) {
+    throw std::invalid_argument("write_snapshot_file: bad kind '" + kind + "'");
+  }
+  std::ostringstream header;
+  header << kMagic << " " << kSnapshotVersion << " " << kind << " "
+         << payload.size() << " " << std::hex << fnv1a64(payload) << "\n";
+  const std::string head = header.str();
+
+  // Crash window discipline: everything lands in the temp file first;
+  // the destination only ever changes via the final atomic rename.
+  const std::string tmp = path + ".tmp";
+  NP_FAULT_POINT("ckpt.write");
+  std::FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    throw std::runtime_error("snapshot: cannot open '" + tmp +
+                             "': " + std::strerror(errno));
+  }
+  bool ok = std::fwrite(head.data(), 1, head.size(), f) == head.size() &&
+            std::fwrite(payload.data(), 1, payload.size(), f) == payload.size() &&
+            std::fflush(f) == 0;
+#if NP_SNAPSHOT_HAS_FSYNC
+  // fsync before rename: otherwise the rename can hit disk before the
+  // data and a power cut leaves a complete-looking empty file.
+  ok = ok && ::fsync(::fileno(f)) == 0;
+#endif
+  ok = std::fclose(f) == 0 && ok;
+  if (!ok) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: short write to '" + tmp + "'");
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    throw std::runtime_error("snapshot: cannot rename '" + tmp + "' to '" + path +
+                             "': " + std::strerror(errno));
+  }
+  saves.add(1);
+}
+
+std::string read_snapshot_file(const std::string& path, const std::string& kind) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) corrupt(path, "cannot open for reading");
+
+  std::string header_line;
+  if (!std::getline(in, header_line)) corrupt(path, "missing header");
+  std::istringstream header(header_line);
+  std::string magic, file_kind, checksum_hex;
+  int version = -1;
+  std::uint64_t payload_bytes = 0;
+  if (!(header >> magic >> version >> file_kind >> payload_bytes >> checksum_hex)) {
+    corrupt(path, "malformed header '" + header_line + "'");
+  }
+  if (magic != kMagic) corrupt(path, "bad magic '" + magic + "'");
+  if (version != kSnapshotVersion) {
+    corrupt(path, "unsupported version " + std::to_string(version));
+  }
+  if (file_kind != kind) {
+    corrupt(path, "kind mismatch: file has '" + file_kind + "', expected '" +
+                      kind + "'");
+  }
+  std::uint64_t checksum = 0;
+  {
+    std::istringstream hex(checksum_hex);
+    if (!(hex >> std::hex >> checksum) || !hex.eof()) {
+      corrupt(path, "malformed checksum '" + checksum_hex + "'");
+    }
+  }
+
+  std::string payload(payload_bytes, '\0');
+  in.read(payload.data(), static_cast<std::streamsize>(payload_bytes));
+  if (static_cast<std::uint64_t>(in.gcount()) != payload_bytes) {
+    corrupt(path, "truncated payload (" + std::to_string(in.gcount()) + " of " +
+                      std::to_string(payload_bytes) + " bytes)");
+  }
+  if (in.get() != std::ifstream::traits_type::eof()) {
+    corrupt(path, "trailing bytes after payload");
+  }
+  if (fnv1a64(payload) != checksum) corrupt(path, "checksum mismatch");
+  return payload;
+}
+
+}  // namespace np::ad

@@ -1,0 +1,45 @@
+// Crash-safe snapshot container: the on-disk envelope under every
+// full-state checkpoint.
+//
+// A snapshot file is a one-line versioned header followed by an opaque
+// payload:
+//
+//   neuroplan-snapshot <version> <kind> <payload-bytes> <fnv1a64-hex>\n
+//   <payload bytes>
+//
+// write_snapshot_file() is atomic against crashes at any instruction:
+// the bytes go to "<path>.tmp", are flushed and fsync'ed, and only then
+// renamed over <path> (rename(2) is atomic on POSIX), so a reader
+// always sees either the previous complete snapshot or the new one —
+// never a torn file. read_snapshot_file() verifies magic, version,
+// kind, length and checksum and throws std::runtime_error on any
+// mismatch, so a corrupted or truncated file fails cleanly instead of
+// feeding garbage into the parameter loader.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace np::ad {
+
+/// Current envelope version; bumped on any header/payload layout change.
+inline constexpr int kSnapshotVersion = 1;
+
+/// FNV-1a 64-bit over arbitrary bytes (the payload checksum).
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Atomically write `payload` under the checksummed envelope.
+/// `kind` names the payload schema (e.g. "trainer-state") and is
+/// verified on load. Throws std::runtime_error on any I/O failure; on
+/// failure the previous snapshot at `path`, if any, is left intact.
+void write_snapshot_file(const std::string& path, const std::string& kind,
+                         const std::string& payload);
+
+/// Read and verify a snapshot written by write_snapshot_file, returning
+/// the payload. Throws std::runtime_error on missing file, bad magic,
+/// unsupported version, kind mismatch, truncation, trailing bytes, or
+/// checksum mismatch.
+std::string read_snapshot_file(const std::string& path, const std::string& kind);
+
+}  // namespace np::ad

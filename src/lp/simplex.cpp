@@ -10,6 +10,7 @@
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
 #include "util/check.hpp"
+#include "util/fault.hpp"
 #include "util/stopwatch.hpp"
 
 namespace np::lp {
@@ -478,7 +479,8 @@ class Simplex {
     // spurious ray).
     bool verified_terminal = false;
     for (;;) {
-      if (watch.seconds() > options_.time_limit_seconds) {
+      if (watch.seconds() > options_.time_limit_seconds ||
+          options_.deadline.expired()) {
         return SolveStatus::kTimeLimit;
       }
       if (iterations_ >= options_.max_iterations) {
@@ -717,6 +719,10 @@ class Simplex {
   }
 
   bool refactor() {
+    // Chaos site: refactorization is the solver's allocation-heavy
+    // moment (fresh LU fill, eta-file reset) — the realistic place for
+    // a bad_alloc-shaped failure mid-solve.
+    NP_FAULT_POINT("lp.refactor");
     static obs::Counter& refactorizations = obs::counter("lp.refactorizations");
     refactorizations.add(1);
     basis_cols_.resize(m_);
@@ -759,7 +765,10 @@ class Simplex {
     int pivots_since_refactor = 0;
     for (;;) {
       if (iterations_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
-      if (watch.seconds() > options_.time_limit_seconds) return SolveStatus::kTimeLimit;
+      if (watch.seconds() > options_.time_limit_seconds ||
+          options_.deadline.expired()) {
+        return SolveStatus::kTimeLimit;
+      }
       ++iterations_;
 
       compute_duals(y);
@@ -1025,6 +1034,16 @@ void record_solve_metrics(const Solution& solution) {
   static obs::Counter& iterations = obs::counter("lp.iterations");
   solves.add(1);
   iterations.add(solution.iterations);
+  // Resource-limit verdicts feed the degradation dashboards: a solve
+  // stopped by its wall-clock deadline/time limit or iteration cap is a
+  // recovery event upstream (scenario reported unknown, env degrades).
+  if (solution.status == SolveStatus::kTimeLimit) {
+    static obs::Counter& c = obs::counter("lp.deadline_hits");
+    c.add(1);
+  } else if (solution.status == SolveStatus::kIterationLimit) {
+    static obs::Counter& c = obs::counter("lp.iteration_limit_hits");
+    c.add(1);
+  }
   switch (solution.start_path) {
     case StartPath::kCold: {
       static obs::Counter& c = obs::counter("lp.start.cold");

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "lp/model.hpp"
+#include "util/deadline.hpp"
 
 namespace np::lp {
 
@@ -73,6 +74,12 @@ struct SimplexOptions {
   double optimality_tolerance = 1e-7;
   long max_iterations = 200000;
   double time_limit_seconds = kInfinity;
+  /// Absolute wall-clock deadline shared across a batch of solves (one
+  /// scenario sweep, one branch-and-bound dive, ...). Checked alongside
+  /// time_limit_seconds; whichever trips first ends the solve with
+  /// SolveStatus::kTimeLimit. Defaults to unlimited, which costs one
+  /// branch per iteration.
+  util::Deadline deadline{};
   const Basis* warm_start = nullptr;
   /// Refactorize the basis every this many pivots. Product-form
   /// updates stay accurate for hundreds of pivots on well-scaled

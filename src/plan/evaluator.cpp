@@ -32,27 +32,33 @@ void PlanEvaluator::reset() {
 CheckResult PlanEvaluator::check_scenario(int scenario,
                                           const std::vector<int>& total_units) {
   const bool aggregate = mode_ != EvaluatorMode::kVanilla;
+  // Each scenario solve gets a fresh deadline so a pathological LP is
+  // bounded both by iterations (lp_options_.max_iterations) and by
+  // wall-clock; an expired budget surfaces as Verdict::kUnknown.
+  lp::SimplexOptions options = lp_options_;
+  if (scenario_budget_seconds_ > 0.0) {
+    options.deadline = util::Deadline::after_seconds(scenario_budget_seconds_);
+  }
   CheckResult result;
+  ScenarioCheck check;
   if (mode_ == EvaluatorMode::kStateful) {
     if (!cached_[scenario].has_value()) {
       cached_[scenario] = build_scenario_lp(topology_, scenario, aggregate);
     }
     ScenarioLp& lp = *cached_[scenario];
     set_plan_capacities(lp, topology_, total_units);
-    const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/true);
-    result.feasible = check.feasible;
-    result.unserved_gbps = check.unserved_gbps;
-    result.lp_iterations = check.lp_iterations;
-    result.lp_seconds = check.solve_seconds;
+    check = solve_scenario(lp, options, /*warm=*/true);
   } else {
     ScenarioLp lp = build_scenario_lp(topology_, scenario, aggregate);
     set_plan_capacities(lp, topology_, total_units);
-    const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/false);
-    result.feasible = check.feasible;
-    result.unserved_gbps = check.unserved_gbps;
-    result.lp_iterations = check.lp_iterations;
-    result.lp_seconds = check.solve_seconds;
+    check = solve_scenario(lp, options, /*warm=*/false);
   }
+  result.feasible = check.feasible;
+  result.verdict = check.verdict;
+  result.deadline_hits = check.deadline_hit ? 1 : 0;
+  result.unserved_gbps = check.unserved_gbps;
+  result.lp_iterations = check.lp_iterations;
+  result.lp_seconds = check.solve_seconds;
   return result;
 }
 
@@ -91,12 +97,14 @@ CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
     const CheckResult one = check_scenario(scenario, total_units);
     aggregate.lp_iterations += one.lp_iterations;
     aggregate.lp_seconds += one.lp_seconds;
+    aggregate.deadline_hits += one.deadline_hits;
     total_lp_iterations_ += one.lp_iterations;
     total_lp_seconds_ += one.lp_seconds;
     scenarios_checked.add(1);
     ++aggregate.scenarios_checked;
     if (!one.feasible) {
       aggregate.feasible = false;
+      aggregate.verdict = one.verdict;
       aggregate.violated_scenario = scenario;
       aggregate.unserved_gbps = one.unserved_gbps;
       if (mode_ == EvaluatorMode::kStateful) next_unchecked_ = scenario;
@@ -104,6 +112,7 @@ CheckResult PlanEvaluator::check(const std::vector<int>& total_units) {
     }
   }
   aggregate.feasible = true;
+  aggregate.verdict = Verdict::kFeasible;
   if (mode_ == EvaluatorMode::kStateful) next_unchecked_ = num_scenarios();
   return aggregate;
 }

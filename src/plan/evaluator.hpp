@@ -34,11 +34,19 @@ const char* to_string(EvaluatorMode mode);
 
 struct CheckResult {
   bool feasible = false;
+  /// Verdict for the blocking scenario: kFeasible when the whole check
+  /// passed, kInfeasible when a scenario was proven infeasible,
+  /// kUnknown when the blocking scenario ran out of solver budget and
+  /// is conservatively treated as not-yet-satisfied.
+  Verdict verdict = Verdict::kUnknown;
   /// First scenario that failed (kHealthyScenario..num_scenarios-1), or
   /// -1 when feasible.
   int violated_scenario = -1;
   /// Unserved demand in the violated scenario (Gbps), 0 when feasible.
   double unserved_gbps = 0.0;
+  /// Scenario solves in this check that stopped on the wall-clock
+  /// deadline instead of finishing.
+  int deadline_hits = 0;
   int scenarios_checked = 0;
   long lp_iterations = 0;
   /// Seconds spent inside lp::solve for this check. Sequential
@@ -60,6 +68,14 @@ class PlanEvaluator {
   /// Forget stateful progress (start of a new trajectory).
   void reset();
 
+  /// Wall-clock budget per scenario solve, in seconds; <= 0 means
+  /// unlimited. Scenario LPs are always iteration-capped — this adds a
+  /// deadline on top, so one pathological scenario cannot stall a
+  /// check. A solve that hits the budget reports Verdict::kUnknown and
+  /// the check degrades conservatively (scenario treated as failed).
+  void set_scenario_budget(double seconds) { scenario_budget_seconds_ = seconds; }
+  double scenario_budget_seconds() const { return scenario_budget_seconds_; }
+
   /// Scenarios = 1 (healthy) + failures.
   int num_scenarios() const { return topology_.num_failures() + 1; }
 
@@ -78,6 +94,7 @@ class PlanEvaluator {
   const topo::Topology& topology_;
   EvaluatorMode mode_;
   lp::SimplexOptions lp_options_;
+  double scenario_budget_seconds_ = 0.0;  ///< <= 0 = unlimited
   /// Lazily built, patched models (kStateful only).
   std::vector<std::optional<ScenarioLp>> cached_;
   int next_unchecked_ = 0;  ///< kStateful: scenarios before this survived

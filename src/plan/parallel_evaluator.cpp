@@ -1,10 +1,12 @@
 #include "plan/parallel_evaluator.hpp"
 
+#include <atomic>
 #include <functional>
 #include <stdexcept>
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace np::plan {
 
@@ -38,8 +40,15 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
 
   std::vector<int> violated_per_thread(threads_, -1);
   std::vector<double> unserved_per_thread(threads_, 0.0);
+  std::vector<Verdict> verdict_per_thread(threads_, Verdict::kFeasible);
   std::vector<long> iterations_per_thread(threads_, 0);
   std::vector<double> seconds_per_thread(threads_, 0.0);
+  std::vector<int> deadline_hits_per_thread(threads_, 0);
+  // Cooperative cancellation: the first worker that throws flips the
+  // flag, the others stop before their next scenario, run_all joins
+  // everything and rethrows the first exception. Without this a slow
+  // group would keep solving LPs long after the check is doomed.
+  std::atomic<bool> cancel{false};
 
   NP_SPAN("plan.parallel_check");
   static obs::Counter& checks = obs::counter("plan.parallel_checks");
@@ -51,21 +60,35 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
     // One span per scenario group — on the pool's worker threads, so a
     // trace shows the per-thread overlap (and any straggler group).
     NP_SPAN("plan.scenario_group");
-    for (std::size_t k = 0; k < groups_[t].size(); ++k) {
-      const int scenario = groups_[t][k];
-      if (!cached_[t][k].has_value()) {
-        cached_[t][k] = build_scenario_lp(topology_, scenario, /*aggregate=*/true);
+    try {
+      for (std::size_t k = 0; k < groups_[t].size(); ++k) {
+        if (cancel.load(std::memory_order_relaxed)) return;
+        NP_FAULT_POINT("plan.worker");
+        const int scenario = groups_[t][k];
+        if (!cached_[t][k].has_value()) {
+          cached_[t][k] =
+              build_scenario_lp(topology_, scenario, /*aggregate=*/true);
+        }
+        ScenarioLp& lp = *cached_[t][k];
+        set_plan_capacities(lp, topology_, total_units);
+        lp::SimplexOptions options = lp_options_;
+        if (scenario_budget_seconds_ > 0.0) {
+          options.deadline = util::Deadline::after_seconds(scenario_budget_seconds_);
+        }
+        const ScenarioCheck check = solve_scenario(lp, options, /*warm=*/true);
+        iterations_per_thread[t] += check.lp_iterations;
+        seconds_per_thread[t] += check.solve_seconds;
+        if (check.deadline_hit) ++deadline_hits_per_thread[t];
+        if (!check.feasible &&
+            (violated_per_thread[t] < 0 || scenario < violated_per_thread[t])) {
+          violated_per_thread[t] = scenario;
+          unserved_per_thread[t] = check.unserved_gbps;
+          verdict_per_thread[t] = check.verdict;
+        }
       }
-      ScenarioLp& lp = *cached_[t][k];
-      set_plan_capacities(lp, topology_, total_units);
-      const ScenarioCheck check = solve_scenario(lp, lp_options_, /*warm=*/true);
-      iterations_per_thread[t] += check.lp_iterations;
-      seconds_per_thread[t] += check.solve_seconds;
-      if (!check.feasible &&
-          (violated_per_thread[t] < 0 || scenario < violated_per_thread[t])) {
-        violated_per_thread[t] = scenario;
-        unserved_per_thread[t] = check.unserved_gbps;
-      }
+    } catch (...) {
+      cancel.store(true, std::memory_order_relaxed);
+      throw;
     }
   };
 
@@ -75,15 +98,18 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
   pool_->run_all(std::move(tasks));
 
   CheckResult result;
+  result.verdict = Verdict::kFeasible;
   result.scenarios_checked = num_scenarios();
   for (int t = 0; t < threads_; ++t) {
     result.lp_iterations += iterations_per_thread[t];
     result.lp_seconds += seconds_per_thread[t];
+    result.deadline_hits += deadline_hits_per_thread[t];
     if (violated_per_thread[t] >= 0 &&
         (result.violated_scenario < 0 ||
          violated_per_thread[t] < result.violated_scenario)) {
       result.violated_scenario = violated_per_thread[t];
       result.unserved_gbps = unserved_per_thread[t];
+      result.verdict = verdict_per_thread[t];
     }
   }
   result.feasible = result.violated_scenario < 0;

@@ -30,7 +30,17 @@ class ParallelPlanEvaluator {
   /// Unlike the sequential evaluator's early exit, all scenarios are
   /// checked (the paper's grouped-parallel pattern); the result still
   /// reports the first violated scenario by index.
+  ///
+  /// Exception safety: if any worker throws, the remaining scenario
+  /// groups are cancelled cooperatively, every pool thread drains, and
+  /// the first exception propagates to the caller — check() never
+  /// deadlocks the pool and the evaluator stays usable afterwards.
   CheckResult check(const std::vector<int>& total_units);
+
+  /// Wall-clock budget per scenario solve, in seconds; <= 0 means
+  /// unlimited. See PlanEvaluator::set_scenario_budget.
+  void set_scenario_budget(double seconds) { scenario_budget_seconds_ = seconds; }
+  double scenario_budget_seconds() const { return scenario_budget_seconds_; }
 
   /// Trajectory boundary. Scenario models are patched, not monotone, so
   /// nothing needs invalidating — present for API parity with
@@ -55,6 +65,7 @@ class ParallelPlanEvaluator {
   /// safe, and per-model state (warm bases, cached scenario LPs) lives
   /// in cached_ and survives across check() calls.
   lp::SimplexOptions lp_options_;
+  double scenario_budget_seconds_ = 0.0;  ///< <= 0 = unlimited
   /// cached_[t] holds thread t's scenario models (lazily built).
   std::vector<std::vector<std::optional<ScenarioLp>>> cached_;
   std::vector<std::vector<int>> groups_;  // thread -> scenario indices

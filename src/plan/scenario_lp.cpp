@@ -54,6 +54,15 @@ std::vector<Commodity> build_commodities(const topo::Topology& topology,
 
 }  // namespace
 
+const char* to_string(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kFeasible: return "feasible";
+    case Verdict::kInfeasible: return "infeasible";
+    case Verdict::kUnknown: return "unknown";
+  }
+  return "invalid";
+}
+
 ScenarioLp build_scenario_lp(const topo::Topology& topology, int scenario,
                              bool aggregate_sources) {
   if (scenario < 0 || scenario > topology.num_failures()) {
@@ -174,10 +183,12 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
   const bool attempted_warm = options.warm_start != nullptr;
   lp::Solution solution = lp::solve(lp.model, options);
   if (solution.status != lp::SolveStatus::kOptimal &&
-      options.warm_start != nullptr) {
+      options.warm_start != nullptr && !options.deadline.expired()) {
     // The elastic LP is feasible and bounded by construction, so any
     // non-optimal verdict out of a warm solve is an artifact of the
-    // stale basis; retry cold before reporting it.
+    // stale basis; retry cold before reporting it — unless the scenario
+    // deadline has already passed, in which case another solve would
+    // only deepen the stall the deadline exists to bound.
     static obs::Counter& cold_retries = obs::counter("plan.cold_retries");
     cold_retries.add(1);
     options.warm_start = nullptr;
@@ -206,16 +217,28 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
   check.solve_seconds = solution.solve_seconds;
   if (solution.status != lp::SolveStatus::kOptimal) {
     // The elastic LP is feasible by construction; a non-optimal status
-    // means a resource limit was hit. Report as infeasible-with-all-
-    // demand-unserved so callers treat it conservatively.
+    // means a resource limit was hit. The verdict is kUnknown and the
+    // boolean projection is infeasible-with-all-demand-unserved, so
+    // every caller degrades conservatively (the env keeps adding
+    // capacity, stage 2 falls back to the stage-1 plan) instead of
+    // trusting a half-solved LP.
     check.feasible = false;
+    check.verdict = Verdict::kUnknown;
+    check.deadline_hit = solution.status == lp::SolveStatus::kTimeLimit;
     check.unserved_gbps = lp.total_demand;
+    static obs::Counter& unknown_verdicts = obs::counter("plan.unknown_verdicts");
+    unknown_verdicts.add(1);
+    if (check.deadline_hit) {
+      static obs::Counter& deadline_hits = obs::counter("plan.deadline_hits");
+      deadline_hits.add(1);
+    }
     return check;
   }
   lp.basis = solution.basis;
   lp.has_basis = true;
   check.unserved_gbps = solution.objective;
   check.feasible = solution.objective <= 1e-6 * std::max(1.0, lp.total_demand);
+  check.verdict = check.feasible ? Verdict::kFeasible : Verdict::kInfeasible;
   return check;
 }
 

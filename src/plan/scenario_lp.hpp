@@ -48,8 +48,22 @@ ScenarioLp build_scenario_lp(const topo::Topology& topology, int scenario,
 void set_plan_capacities(ScenarioLp& lp, const topo::Topology& topology,
                          const std::vector<int>& total_units);
 
+/// Outcome of one scenario check. kUnknown means the solver ran out of
+/// budget (wall-clock deadline or iteration cap) before reaching a
+/// verdict; callers must degrade conservatively — treat the scenario as
+/// not-yet-satisfied, never as passed.
+enum class Verdict { kFeasible, kInfeasible, kUnknown };
+
+const char* to_string(Verdict verdict);
+
 struct ScenarioCheck {
   bool feasible = false;
+  /// Three-valued outcome; `feasible` stays the conservative boolean
+  /// projection (kUnknown => false).
+  Verdict verdict = Verdict::kUnknown;
+  /// True when the solve stopped on the wall-clock deadline / time
+  /// limit rather than finishing (implies verdict == kUnknown).
+  bool deadline_hit = false;
   double unserved_gbps = 0.0;
   long lp_iterations = 0;
   /// Wall-clock seconds spent inside lp::solve (including a cold retry

@@ -24,9 +24,11 @@ PlanningEnv::PlanningEnv(const topo::Topology& topology, const EnvConfig& config
   if (config.evaluator_threads > 1) {
     parallel_evaluator_ = std::make_unique<plan::ParallelPlanEvaluator>(
         topology, config.evaluator_threads);
+    parallel_evaluator_->set_scenario_budget(config.scenario_time_limit_seconds);
   } else {
     sequential_evaluator_ =
         std::make_unique<plan::PlanEvaluator>(topology, config.evaluator_mode);
+    sequential_evaluator_->set_scenario_budget(config.scenario_time_limit_seconds);
   }
   // Reward scale: the most expensive possible single step, so each
   // intermediate reward lands in [-1, 0] (§4.2 "reward representation").
@@ -113,6 +115,19 @@ StepResult PlanningEnv::step(int flat_action) {
   }
   done_ = result.done;
   return result;
+}
+
+void PlanningEnv::restore_units(const std::vector<int>& units) {
+  if (units.size() != static_cast<std::size_t>(topology_.num_links())) {
+    throw std::invalid_argument("PlanningEnv::restore_units: size mismatch");
+  }
+  for (std::size_t l = 0; l < units.size(); ++l) {
+    if (units[l] < initial_units_[l]) {
+      throw std::invalid_argument(
+          "PlanningEnv::restore_units: units below initial topology");
+    }
+  }
+  units_ = units;
 }
 
 std::vector<int> PlanningEnv::added_units() const {

@@ -36,6 +36,13 @@ struct EnvConfig {
   /// > 1 checks failure scenarios with a ParallelPlanEvaluator (grouped
   /// scenarios, §5); 1 keeps the sequential evaluator_mode evaluator.
   int evaluator_threads = 1;
+  /// Wall-clock budget per scenario solve (seconds); <= 0 = unlimited.
+  /// A scenario that exhausts its budget reports Verdict::kUnknown and
+  /// the env degrades conservatively: the plan counts as not-yet-
+  /// feasible and the episode keeps adding capacity. The default bounds
+  /// a single pathological LP without ever firing on the paper-scale
+  /// topologies (whose scenario solves run in milliseconds).
+  double scenario_time_limit_seconds = 60.0;
 };
 
 struct StepResult {
@@ -75,6 +82,10 @@ class PlanningEnv {
   StepResult step(int flat_action);
 
   // ---- bookkeeping ----
+  /// Overwrite the current per-link total units (checkpoint resume).
+  /// Units must be >= the initial topology's; episode progress counters
+  /// are NOT touched — callers restoring a snapshot set the full state.
+  void restore_units(const std::vector<int>& units);
   const std::vector<int>& total_units() const { return units_; }
   std::vector<int> added_units() const;
   /// Cost of the capacity added so far (the plan cost of this episode).

@@ -8,6 +8,7 @@
 #include "ad/tape.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "util/fault.hpp"
 
 namespace np::rl {
 
@@ -87,6 +88,25 @@ RolloutWorkers::RolloutWorkers(const topo::Topology& topology,
   pool_ = std::make_unique<util::ThreadPool>(std::max(0, participants - 1));
 }
 
+std::vector<std::array<std::uint64_t, 4>> RolloutWorkers::rng_states() const {
+  std::vector<std::array<std::uint64_t, 4>> states;
+  states.reserve(rngs_.size());
+  for (const Rng& rng : rngs_) states.push_back(rng.state());
+  return states;
+}
+
+void RolloutWorkers::set_rng_states(
+    const std::vector<std::array<std::uint64_t, 4>>& states) {
+  if (states.size() != rngs_.size()) {
+    throw std::runtime_error(
+        "RolloutWorkers::set_rng_states: stream count mismatch (" +
+        std::to_string(states.size()) + " saved, " +
+        std::to_string(rngs_.size()) + " live) — resume with the same "
+        "--rollout-workers the checkpoint was written with");
+  }
+  for (std::size_t w = 0; w < states.size(); ++w) rngs_[w].set_state(states[w]);
+}
+
 long RolloutWorkers::total_lp_iterations() const {
   if (borrowed_env_ != nullptr) return borrowed_env_->evaluator_lp_iterations();
   long total = 0;
@@ -146,6 +166,7 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
     StepResult step;
     {
       NP_SPAN("rollout.env_step");
+      NP_FAULT_POINT("rollout.step");
       step = env.step(record.action);
     }
     record.reward = step.reward;
@@ -260,6 +281,7 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
       for (int w : active) {
         const int action = rollouts[w].records.back().action;
         tasks.push_back([this, w, action, &results] {
+          NP_FAULT_POINT("rollout.step");
           results[w] = envs_[w]->step(action);
         });
       }

@@ -23,6 +23,7 @@
 // leaking advantages across workers.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <memory>
 #include <vector>
@@ -93,6 +94,15 @@ class RolloutWorkers {
 
   int workers() const { return workers_; }
   bool borrowed() const { return borrowed_env_ != nullptr; }
+
+  /// RNG states of the owned per-worker streams, worker-ordered
+  /// (checkpointing). Empty in borrowed mode — the caller owns the RNG
+  /// there and snapshots it directly.
+  std::vector<std::array<std::uint64_t, 4>> rng_states() const;
+  /// Restore per-worker streams saved by rng_states(). Throws when the
+  /// count does not match the worker count (a checkpoint from a run
+  /// with a different `--rollout-workers` cannot resume bit-for-bit).
+  void set_rng_states(const std::vector<std::array<std::uint64_t, 4>>& states);
 
   /// Cumulative simplex iterations across every env this object steps
   /// (the borrowed env, or all owned envs) — the LP share of rollout

@@ -331,22 +331,30 @@ bool A2cTrainer::greedy_rollout() {
 
 std::vector<EpochStats> A2cTrainer::train() {
   std::vector<EpochStats> history;
-  double best_seen = kUnset;
-  int stale_epochs = 0;
-  for (int e = 0; e < config_.epochs; ++e) {
+  const bool checkpointing =
+      config_.checkpoint_every > 0 && !config_.checkpoint_path.empty();
+  while (epoch_counter_ < config_.epochs) {
     history.push_back(run_epoch());
     const EpochStats& stats = history.back();
     log_info("rl: epoch ", stats.epoch, " return ", stats.mean_return, " best ",
              stats.best_cost_so_far == kUnset ? -1.0 : stats.best_cost_so_far);
+    bool stop = false;
     if (config_.patience > 0) {
-      if (best_cost_ < best_seen - 1e-9) {
-        best_seen = best_cost_;
-        stale_epochs = 0;
-      } else if (has_feasible_plan() && ++stale_epochs >= config_.patience) {
-        log_info("rl: early stop after ", stale_epochs, " stale epochs");
-        break;
+      if (best_cost_ < patience_best_ - 1e-9) {
+        patience_best_ = best_cost_;
+        patience_stale_ = 0;
+      } else if (has_feasible_plan() && ++patience_stale_ >= config_.patience) {
+        log_info("rl: early stop after ", patience_stale_, " stale epochs");
+        stop = true;
       }
     }
+    // The snapshot lands after the patience update so a resumed run
+    // continues from exactly the state the killed run would have had.
+    if (checkpointing && (epoch_counter_ % config_.checkpoint_every == 0 ||
+                          stop || epoch_counter_ >= config_.epochs)) {
+      save_checkpoint(config_.checkpoint_path);
+    }
+    if (stop) break;
   }
   return history;
 }

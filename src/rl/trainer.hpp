@@ -61,6 +61,12 @@ struct TrainConfig {
   /// summation order by ulps — off by default to preserve bit-exact
   /// reproducibility with the serial trainer.
   bool batched_updates = false;
+  /// Crash safety: save a full-state checkpoint to checkpoint_path
+  /// every this many epochs (and again on early stop and completion).
+  /// 0 disables. Snapshots are written atomically, so a crash mid-save
+  /// leaves the previous checkpoint intact.
+  int checkpoint_every = 0;
+  std::string checkpoint_path;
 };
 
 struct EpochStats {
@@ -82,8 +88,29 @@ class A2cTrainer {
   /// One epoch of Algorithm 1; returns its statistics.
   EpochStats run_epoch();
 
-  /// Full training loop (config.epochs, honoring patience).
+  /// Full training loop: runs until config.epochs TOTAL epochs have
+  /// completed (so a trainer resumed at epoch E runs the remaining
+  /// config.epochs - E), honoring patience and writing periodic
+  /// checkpoints when configured. Returns the stats of the epochs run
+  /// by THIS call.
   std::vector<EpochStats> train();
+
+  /// Crash-safe full-state checkpoint: network parameters, Adam moments
+  /// and bias-correction timesteps, the trainer and per-worker RNG
+  /// streams, epoch counter, best-plan and patience state, and the env
+  /// capacities. Written via the atomic snapshot container
+  /// (ad/snapshot.hpp): temp file + fsync + rename, versioned header,
+  /// checksum.
+  void save_checkpoint(const std::string& path);
+
+  /// Restore state saved by save_checkpoint. The training configuration
+  /// must match the writing run (fingerprint-checked; a mismatch throws
+  /// std::runtime_error) — resuming then continues the interrupted run
+  /// bit-for-bit with the uninterrupted one. Call before train().
+  void resume_from_checkpoint(const std::string& path);
+
+  /// Epochs completed so far (nonzero after a resume).
+  int epochs_completed() const { return epoch_counter_; }
 
   /// Evaluate the current stochastic policy without learning: run
   /// `rollouts` sampled trajectories and report how many reached
@@ -132,6 +159,11 @@ class A2cTrainer {
   double best_cost_ = kUnset;
   std::vector<int> best_added_;
   int epoch_counter_ = 0;
+  /// Early-stop state; members (not train() locals) so checkpoints can
+  /// carry it across a kill/resume without perturbing the epoch at
+  /// which patience would have fired.
+  double patience_best_ = kUnset;
+  int patience_stale_ = 0;
 };
 
 }  // namespace np::rl

@@ -1,0 +1,56 @@
+// Monotonic wall-clock deadline threaded through the solver stack so
+// every scenario check is bounded in *time*, not just iterations: one
+// degenerate LP must never stall an epoch. A Deadline is a point on
+// std::chrono::steady_clock; the default-constructed value is
+// unlimited and costs a single branch to test, so plumbing it through
+// hot paths is free for callers that never set one.
+//
+// Deadlines compose with the per-solve `time_limit_seconds` budget the
+// simplex already honors: the solver stops at whichever bound trips
+// first and reports SolveStatus::kTimeLimit either way.
+#pragma once
+
+#include <chrono>
+#include <limits>
+
+namespace np::util {
+
+class Deadline {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` of wall clock from now. Non-positive budgets
+  /// produce an already-expired deadline (callers treat "no budget
+  /// left" uniformly).
+  static Deadline after_seconds(double seconds) {
+    Deadline d;
+    d.unlimited_ = false;
+    d.at_ = Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                               std::chrono::duration<double>(seconds));
+    return d;
+  }
+
+  static Deadline unlimited() { return Deadline(); }
+
+  bool is_unlimited() const { return unlimited_; }
+
+  /// True once the deadline has passed. Unlimited deadlines never
+  /// expire and skip the clock read entirely.
+  bool expired() const { return !unlimited_ && Clock::now() >= at_; }
+
+  /// Seconds of budget left (clamped at 0); +inf when unlimited.
+  double remaining_seconds() const {
+    if (unlimited_) return std::numeric_limits<double>::infinity();
+    const double left = std::chrono::duration<double>(at_ - Clock::now()).count();
+    return left > 0.0 ? left : 0.0;
+  }
+
+ private:
+  bool unlimited_ = true;
+  Clock::time_point at_{};
+};
+
+}  // namespace np::util

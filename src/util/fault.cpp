@@ -1,0 +1,168 @@
+#include "util/fault.hpp"
+
+#include <atomic>
+#include <map>
+#include <mutex>
+#include <sstream>
+
+#include "obs/metrics.hpp"
+#include "util/env.hpp"
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace np::util {
+
+namespace {
+
+/// Recovery-visibility counter: every injected fault is an exercised
+/// recovery path, so chaos runs can assert coverage from --metrics-out.
+obs::Counter& injected_counter() {
+  static obs::Counter& c = obs::counter("fault.injected");
+  return c;
+}
+
+}  // namespace
+
+struct FaultInjector::Impl {
+  struct Site {
+    FaultSpec spec;
+    long calls = 0;
+    long triggered = 0;
+  };
+
+  mutable std::mutex mutex;
+  std::map<std::string, Site> sites;
+  Rng rng{0x5eedfa175eedfa17ULL};
+  long total_triggered = 0;
+  /// Fast-path gate: lets should_fire return without the mutex when
+  /// nothing is armed, so compiled-in-but-idle injection stays cheap.
+  std::atomic<bool> any_armed{false};
+};
+
+FaultInjector::Impl& FaultInjector::impl() const {
+  static Impl impl;
+  return impl;
+}
+
+FaultInjector& FaultInjector::instance() {
+  static FaultInjector injector;
+  return injector;
+}
+
+void FaultInjector::arm(const std::string& site, FaultSpec spec) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.sites[site] = Impl::Site{spec, 0, 0};
+  i.any_armed.store(true, std::memory_order_release);
+}
+
+void FaultInjector::disarm_all() {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.sites.clear();
+  i.total_triggered = 0;
+  i.any_armed.store(false, std::memory_order_release);
+}
+
+void FaultInjector::reseed(std::uint64_t seed) {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  i.rng.reseed(seed);
+}
+
+void FaultInjector::configure_from_env() {
+  const long seed = env_long("NEUROPLAN_FAULT_SEED", 0);
+  if (seed != 0) reseed(static_cast<std::uint64_t>(seed));
+  const std::string sites = env_string("NEUROPLAN_FAULT_SITES", "");
+  if (sites.empty()) return;
+  // Format: "site=nth:3;other=p:0.01" — unknown fragments are skipped
+  // with a warning instead of failing the run (chaos configuration must
+  // never be the thing that crashes the process).
+  std::istringstream is(sites);
+  std::string entry;
+  while (std::getline(is, entry, ';')) {
+    const std::size_t eq = entry.find('=');
+    const std::size_t colon = entry.find(':', eq == std::string::npos ? 0 : eq);
+    if (eq == std::string::npos || colon == std::string::npos || eq == 0) {
+      log_warn("fault: ignoring malformed NEUROPLAN_FAULT_SITES entry '", entry,
+               "'");
+      continue;
+    }
+    const std::string site = entry.substr(0, eq);
+    const std::string kind = entry.substr(eq + 1, colon - eq - 1);
+    const std::string value = entry.substr(colon + 1);
+    FaultSpec spec;
+    try {
+      if (kind == "nth") {
+        spec.nth_call = std::stol(value);
+      } else if (kind == "p") {
+        spec.probability = std::stod(value);
+      } else {
+        log_warn("fault: ignoring unknown trigger kind '", kind, "' in '", entry,
+                 "'");
+        continue;
+      }
+    } catch (const std::exception&) {
+      log_warn("fault: ignoring unparsable NEUROPLAN_FAULT_SITES entry '", entry,
+               "'");
+      continue;
+    }
+    arm(site, spec);
+    log_warn("fault: armed site '", site, "' (", kind, ":", value, ")");
+  }
+}
+
+bool FaultInjector::should_fire(const std::string& site) {
+  Impl& i = impl();
+  if (!i.any_armed.load(std::memory_order_acquire)) return false;
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.sites.find(site);
+  if (it == i.sites.end()) return false;
+  Impl::Site& s = it->second;
+  ++s.calls;
+  bool fire = false;
+  if (s.spec.nth_call > 0) {
+    fire = s.calls == s.spec.nth_call;
+  } else if (s.spec.probability > 0.0) {
+    fire = i.rng.uniform() < s.spec.probability;
+  }
+  if (fire) {
+    ++s.triggered;
+    ++i.total_triggered;
+  }
+  return fire;
+}
+
+void FaultInjector::on_site(const std::string& site) {
+  if (should_fire(site)) {
+    injected_counter().add(1);
+    log_warn("fault: injecting failure at '", site, "'");
+    throw InjectedFault(site);
+  }
+}
+
+long FaultInjector::triggered(const std::string& site) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.sites.find(site);
+  return it == i.sites.end() ? 0 : it->second.triggered;
+}
+
+long FaultInjector::calls(const std::string& site) const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  const auto it = i.sites.find(site);
+  return it == i.sites.end() ? 0 : it->second.calls;
+}
+
+long FaultInjector::total_triggered() const {
+  Impl& i = impl();
+  std::lock_guard<std::mutex> lock(i.mutex);
+  return i.total_triggered;
+}
+
+bool FaultInjector::any_armed() const {
+  return impl().any_armed.load(std::memory_order_acquire);
+}
+
+}  // namespace np::util

@@ -1,0 +1,104 @@
+// Fault-injection harness for proving recovery paths actually run.
+//
+// Library code marks failure-prone sites with NP_FAULT_POINT("site"):
+// allocation-heavy LP refactorization, checkpoint I/O, evaluator worker
+// bodies, rollout-worker steps. Tests (and chaos CI) arm a site with a
+// seeded probability or an exact nth-call trigger; when it fires, the
+// site throws util::InjectedFault and the surrounding recovery logic —
+// cold retries, pool exception propagation, checkpoint atomicity — gets
+// exercised for real.
+//
+// Cost discipline: the macro compiles to nothing unless the build sets
+// NEUROPLAN_FAULTS=ON (the asan/tsan presets do; release/bench builds
+// do not), so the hot paths carry zero overhead in production builds.
+// Even when compiled in, an unarmed injector is one relaxed atomic load
+// per site.
+//
+// The FaultInjector class itself is always compiled so trigger
+// arithmetic stays unit-testable in every build; only the NP_FAULT_POINT
+// call sites disappear.
+#pragma once
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+
+#if defined(NEUROPLAN_ENABLE_FAULTS)
+#define NP_FAULTS_ENABLED 1
+#else
+#define NP_FAULTS_ENABLED 0
+#endif
+
+namespace np::util {
+
+/// Thrown by an armed fault site. Derives std::runtime_error so it
+/// flows through the same recovery paths as real I/O or solver errors.
+class InjectedFault : public std::runtime_error {
+ public:
+  explicit InjectedFault(const std::string& site)
+      : std::runtime_error("injected fault at " + site), site_(site) {}
+  const std::string& site() const { return site_; }
+
+ private:
+  std::string site_;
+};
+
+/// How an armed site decides to fire. Exactly one trigger is used:
+/// nth_call > 0 fires on that exact call (1-based, counted from
+/// arming), otherwise probability is a per-call Bernoulli draw from
+/// the injector's seeded RNG.
+struct FaultSpec {
+  double probability = 0.0;
+  long nth_call = 0;
+};
+
+class FaultInjector {
+ public:
+  /// Process-wide injector used by NP_FAULT_POINT.
+  static FaultInjector& instance();
+
+  /// Arm `site` with the given trigger; resets the site's call count.
+  void arm(const std::string& site, FaultSpec spec);
+
+  /// Disarm every site and clear all counters (test isolation).
+  void disarm_all();
+
+  /// Reseed the Bernoulli stream (deterministic chaos runs).
+  void reseed(std::uint64_t seed);
+
+  /// Parse NEUROPLAN_FAULT_SITES ("site=nth:3;other=p:0.01") and
+  /// NEUROPLAN_FAULT_SEED. Unset variables leave the injector disarmed.
+  void configure_from_env();
+
+  /// Count a call to `site` and decide whether it fires. Exposed so the
+  /// trigger arithmetic is testable even when NP_FAULT_POINT compiles
+  /// out. Thread-safe.
+  bool should_fire(const std::string& site);
+
+  /// should_fire + bookkeeping + throw InjectedFault. The body of
+  /// NP_FAULT_POINT in fault-enabled builds.
+  void on_site(const std::string& site);
+
+  /// Faults fired at `site` since the last disarm_all().
+  long triggered(const std::string& site) const;
+  /// Calls observed at `site` since it was armed.
+  long calls(const std::string& site) const;
+  /// Faults fired across all sites since the last disarm_all().
+  long total_triggered() const;
+
+  /// True when any site is armed (the fast path's one-load gate).
+  bool any_armed() const;
+
+ private:
+  FaultInjector() = default;
+  struct Impl;
+  Impl& impl() const;
+};
+
+}  // namespace np::util
+
+#if NP_FAULTS_ENABLED
+#define NP_FAULT_POINT(site) ::np::util::FaultInjector::instance().on_site(site)
+#else
+#define NP_FAULT_POINT(site) ((void)0)
+#endif

@@ -12,6 +12,7 @@
 #include <cstdint>
 #include <cstddef>
 #include <cmath>
+#include <stdexcept>
 #include <vector>
 
 namespace np {
@@ -109,6 +110,19 @@ class Rng {
 
   /// Derive an independent child stream (for parallel components).
   Rng split() { return Rng((*this)() ^ 0xd1342543de82ef95ULL); }
+
+  /// Raw generator state, for crash-safe checkpoints: restoring it with
+  /// set_state() resumes the stream exactly where it left off.
+  std::array<std::uint64_t, 4> state() const { return state_; }
+
+  /// Restore a state captured by state(). Rejects the all-zero state,
+  /// which xoshiro256** can never reach (and never leaves).
+  void set_state(const std::array<std::uint64_t, 4>& state) {
+    if (state[0] == 0 && state[1] == 0 && state[2] == 0 && state[3] == 0) {
+      throw std::invalid_argument("Rng::set_state: all-zero state");
+    }
+    state_ = state;
+  }
 
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {

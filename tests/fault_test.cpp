@@ -1,0 +1,229 @@
+// Fault-injection harness: trigger arithmetic is exercised in every
+// build; the throw-site integration tests (LP refactorization,
+// checkpoint I/O, evaluator workers, rollout steps) require a build
+// with NEUROPLAN_FAULTS=ON and skip elsewhere.
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+#include <string>
+
+#include "ad/snapshot.hpp"
+#include "plan/parallel_evaluator.hpp"
+#include "plan/scenario_lp.hpp"
+#include "rl/trainer.hpp"
+#include "topo/generator.hpp"
+#include "util/fault.hpp"
+
+namespace np::util {
+namespace {
+
+/// Every test runs against the process-wide injector; disarming on both
+/// ends keeps tests order-independent.
+class FaultTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultInjector::instance().disarm_all(); }
+  void TearDown() override { FaultInjector::instance().disarm_all(); }
+};
+
+// ---- trigger arithmetic (runs in every build) ----
+
+TEST_F(FaultTest, UnarmedNeverFires) {
+  FaultInjector& f = FaultInjector::instance();
+  EXPECT_FALSE(f.any_armed());
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(f.should_fire("anything"));
+  EXPECT_EQ(f.total_triggered(), 0);
+  // Unarmed sites do not even count calls (fast path skips bookkeeping).
+  EXPECT_EQ(f.calls("anything"), 0);
+}
+
+TEST_F(FaultTest, NthCallFiresExactlyOnce) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site", FaultSpec{0.0, 3});
+  EXPECT_TRUE(f.any_armed());
+  int fired = 0;
+  for (int i = 1; i <= 10; ++i) {
+    if (f.should_fire("site")) {
+      EXPECT_EQ(i, 3);
+      ++fired;
+    }
+  }
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(f.calls("site"), 10);
+  EXPECT_EQ(f.triggered("site"), 1);
+  EXPECT_EQ(f.total_triggered(), 1);
+}
+
+TEST_F(FaultTest, ArmedSiteDoesNotAffectOtherSites) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site", FaultSpec{1.0, 0});
+  for (int i = 0; i < 20; ++i) EXPECT_FALSE(f.should_fire("other"));
+}
+
+TEST_F(FaultTest, ProbabilityZeroNeverFires) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site", FaultSpec{0.0, 0});
+  for (int i = 0; i < 200; ++i) EXPECT_FALSE(f.should_fire("site"));
+}
+
+TEST_F(FaultTest, ProbabilityOneAlwaysFires) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site", FaultSpec{1.0, 0});
+  for (int i = 0; i < 50; ++i) EXPECT_TRUE(f.should_fire("site"));
+  EXPECT_EQ(f.triggered("site"), 50);
+}
+
+TEST_F(FaultTest, ReseedMakesBernoulliStreamReproducible) {
+  FaultInjector& f = FaultInjector::instance();
+  std::vector<bool> first, second;
+  for (int round = 0; round < 2; ++round) {
+    f.disarm_all();
+    f.reseed(1234);
+    f.arm("site", FaultSpec{0.5, 0});
+    auto& out = round == 0 ? first : second;
+    for (int i = 0; i < 64; ++i) out.push_back(f.should_fire("site"));
+  }
+  EXPECT_EQ(first, second);
+}
+
+TEST_F(FaultTest, RearmResetsCallCount) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("site", FaultSpec{0.0, 2});
+  EXPECT_FALSE(f.should_fire("site"));
+  EXPECT_TRUE(f.should_fire("site"));
+  f.arm("site", FaultSpec{0.0, 2});  // re-arm: fires on the 2nd call again
+  EXPECT_EQ(f.calls("site"), 0);
+  EXPECT_FALSE(f.should_fire("site"));
+  EXPECT_TRUE(f.should_fire("site"));
+}
+
+TEST_F(FaultTest, DisarmAllClearsEverything) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("a", FaultSpec{1.0, 0});
+  f.arm("b", FaultSpec{0.0, 1});
+  (void)f.should_fire("a");
+  f.disarm_all();
+  EXPECT_FALSE(f.any_armed());
+  EXPECT_EQ(f.total_triggered(), 0);
+  EXPECT_EQ(f.calls("a"), 0);
+  EXPECT_FALSE(f.should_fire("a"));
+  EXPECT_FALSE(f.should_fire("b"));
+}
+
+TEST_F(FaultTest, OnSiteThrowsInjectedFaultNamingTheSite) {
+  FaultInjector& f = FaultInjector::instance();
+  f.arm("lp.refactor", FaultSpec{0.0, 1});
+  try {
+    f.on_site("lp.refactor");
+    FAIL() << "expected InjectedFault";
+  } catch (const InjectedFault& e) {
+    EXPECT_EQ(e.site(), "lp.refactor");
+    EXPECT_NE(std::string(e.what()).find("lp.refactor"), std::string::npos);
+  }
+  // Past the nth call the site is quiet again.
+  f.on_site("lp.refactor");
+}
+
+TEST_F(FaultTest, InjectedFaultIsARuntimeError) {
+  // Recovery paths catch std::runtime_error (real I/O and solver
+  // failures); injected faults must flow through the same ones.
+  EXPECT_THROW(throw InjectedFault("x"), std::runtime_error);
+}
+
+TEST_F(FaultTest, ConfigureFromEnvArmsListedSites) {
+  FaultInjector& f = FaultInjector::instance();
+  ::setenv("NEUROPLAN_FAULT_SITES", "ckpt.write=nth:2;lp.refactor=p:1.0", 1);
+  ::setenv("NEUROPLAN_FAULT_SEED", "77", 1);
+  f.configure_from_env();
+  ::unsetenv("NEUROPLAN_FAULT_SITES");
+  ::unsetenv("NEUROPLAN_FAULT_SEED");
+  EXPECT_TRUE(f.any_armed());
+  EXPECT_FALSE(f.should_fire("ckpt.write"));
+  EXPECT_TRUE(f.should_fire("ckpt.write"));
+  EXPECT_TRUE(f.should_fire("lp.refactor"));
+}
+
+TEST_F(FaultTest, ConfigureFromEnvSkipsMalformedEntries) {
+  FaultInjector& f = FaultInjector::instance();
+  ::setenv("NEUROPLAN_FAULT_SITES",
+           "no-separator;=nth:1;bad=weird:3;bad2=nth:xyz;good=nth:1", 1);
+  f.configure_from_env();
+  ::unsetenv("NEUROPLAN_FAULT_SITES");
+  EXPECT_TRUE(f.should_fire("good"));
+  EXPECT_FALSE(f.should_fire("bad"));
+  EXPECT_FALSE(f.should_fire("bad2"));
+}
+
+TEST_F(FaultTest, ConfigureFromEnvUnsetLeavesDisarmed) {
+  ::unsetenv("NEUROPLAN_FAULT_SITES");
+  ::unsetenv("NEUROPLAN_FAULT_SEED");
+  FaultInjector::instance().configure_from_env();
+  EXPECT_FALSE(FaultInjector::instance().any_armed());
+}
+
+// ---- throw-site integration (needs a NEUROPLAN_FAULTS=ON build) ----
+
+TEST_F(FaultTest, CheckpointWriteFaultLeavesPreviousSnapshotIntact) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const std::string path = ::testing::TempDir() + "fault_ckpt.state";
+  ad::write_snapshot_file(path, "unit", "good");
+  FaultInjector::instance().arm("ckpt.write", FaultSpec{0.0, 1});
+  EXPECT_THROW(ad::write_snapshot_file(path, "unit", "doomed"), InjectedFault);
+  EXPECT_EQ(ad::read_snapshot_file(path, "unit"), "good");
+  // The site fired before the temp file existed; a retry succeeds.
+  ad::write_snapshot_file(path, "unit", "recovered");
+  EXPECT_EQ(ad::read_snapshot_file(path, "unit"), "recovered");
+}
+
+TEST_F(FaultTest, LpRefactorFaultPropagatesFromSolve) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology t = topo::make_preset('A');
+  plan::ScenarioLp lp = plan::build_scenario_lp(t, plan::kHealthyScenario, true);
+  FaultInjector::instance().arm("lp.refactor", FaultSpec{0.0, 1});
+  EXPECT_THROW(plan::solve_scenario(lp, {}, false), InjectedFault);
+  FaultInjector::instance().disarm_all();
+  // The model is still usable once the fault clears.
+  plan::ScenarioCheck check = plan::solve_scenario(lp, {}, false);
+  EXPECT_GE(check.lp_iterations, 0);
+}
+
+TEST_F(FaultTest, ParallelEvaluatorWorkerFaultPropagatesAndPoolSurvives) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology t = topo::make_preset('A');
+  plan::ParallelPlanEvaluator eval(t, 3);
+  const std::vector<int> plan_units(static_cast<std::size_t>(t.num_links()), 1);
+  FaultInjector::instance().arm("plan.worker", FaultSpec{0.0, 1});
+  EXPECT_THROW(eval.check(plan_units), InjectedFault);
+  FaultInjector::instance().disarm_all();
+  // Exception safety contract: the pool drained, the evaluator works.
+  const plan::CheckResult after = eval.check(plan_units);
+  EXPECT_EQ(after.scenarios_checked, eval.num_scenarios());
+  // And a second faulted round still cancels cleanly.
+  FaultInjector::instance().arm("plan.worker", FaultSpec{0.0, 2});
+  EXPECT_THROW(eval.check(plan_units), InjectedFault);
+  FaultInjector::instance().disarm_all();
+  EXPECT_EQ(eval.check(plan_units).scenarios_checked, eval.num_scenarios());
+}
+
+TEST_F(FaultTest, RolloutStepFaultAbortsEpochAndTrainerRecovers) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology t = topo::make_preset('A');
+  rl::TrainConfig config;
+  config.env.max_units_per_step = 4;
+  config.env.max_trajectory_steps = 100;
+  config.network.gcn_layers = 2;
+  config.network.gcn_hidden = 8;
+  config.network.mlp_hidden = {16};
+  config.epochs = 1;
+  config.steps_per_epoch = 64;
+  config.chunk_steps = 32;
+  config.seed = 5;
+  rl::A2cTrainer trainer(t, config);
+  FaultInjector::instance().arm("rollout.step", FaultSpec{0.0, 7});
+  EXPECT_THROW(trainer.run_epoch(), InjectedFault);
+  FaultInjector::instance().disarm_all();
+  const rl::EpochStats stats = trainer.run_epoch();
+  EXPECT_EQ(stats.steps, config.steps_per_epoch);
+}
+
+}  // namespace
+}  // namespace np::util

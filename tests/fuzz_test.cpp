@@ -4,9 +4,12 @@
 #include <gtest/gtest.h>
 
 #include <cstdint>
+#include <fstream>
+#include <sstream>
 #include <stdexcept>
 #include <string>
 
+#include "ad/snapshot.hpp"
 #include "topo/generator.hpp"
 #include "topo/serialize.hpp"
 #include "util/env.hpp"
@@ -69,6 +72,65 @@ TEST_P(SerializeFuzz, MutatedInputNeverCrashes) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, SerializeFuzz, ::testing::Range(0u, 10u));
+
+/// Checkpoint containers under the same mutation model: a mutated
+/// snapshot file must either round-trip the original payload untouched
+/// (mutation landed outside the validated region — impossible here,
+/// every byte is covered by the checksum or header grammar) or throw a
+/// clean std::runtime_error. Anything else is a corruption-detection
+/// hole that would let a torn checkpoint resume training silently.
+class SnapshotFuzz : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(SnapshotFuzz, MutatedSnapshotNeverResumesSilently) {
+  const std::uint64_t seed = fuzz_seed(GetParam()) + 500009u;
+  SCOPED_TRACE(::testing::Message() << "fuzz seed " << seed);
+  const std::string path = ::testing::TempDir() + "fuzz_snapshot.state";
+  std::string payload = "epoch 12\nrng deadbeef 1 2 3\nparams 0\nend\n";
+  payload.push_back('\0');
+  payload += "binary tail \xff\x01";
+  ad::write_snapshot_file(path, "trainer", payload);
+  std::string pristine;
+  {
+    std::ifstream in(path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    pristine = buf.str();
+  }
+  Rng rng(seed);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bytes = pristine;
+    const int mutations = 1 + static_cast<int>(rng.uniform_index(4));
+    for (int k = 0; k < mutations && !bytes.empty(); ++k) {
+      const std::size_t pos = rng.uniform_index(bytes.size());
+      switch (rng.uniform_index(4)) {
+        case 0:  // flip a byte
+          bytes[pos] = static_cast<char>(rng.uniform_index(256));
+          break;
+        case 1:  // delete a span
+          bytes.erase(pos, 1 + rng.uniform_index(8));
+          break;
+        case 2:  // duplicate a span
+          bytes.insert(pos, bytes.substr(pos, 1 + rng.uniform_index(8)));
+          break;
+        default:  // truncate
+          bytes.resize(pos);
+      }
+    }
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::trunc);
+      out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+    }
+    try {
+      const std::string got = ad::read_snapshot_file(path, "trainer");
+      EXPECT_EQ(got, payload) << "trial " << trial
+                              << ": accepted a corrupted snapshot";
+    } catch (const std::runtime_error&) {
+      // typed corruption verdict: fine
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SnapshotFuzz, ::testing::Range(0u, 6u));
 
 TEST(SerializeFuzz, EmptyAndDegenerateInputs) {
   EXPECT_NO_THROW(from_text(""));              // empty topology object

@@ -11,6 +11,7 @@
 #include "plan/parallel_evaluator.hpp"
 #include "plan/scenario_lp.hpp"
 #include "topo/generator.hpp"
+#include "util/deadline.hpp"
 #include "util/rng.hpp"
 
 namespace np::plan {
@@ -426,6 +427,59 @@ TEST(ParallelEvaluator, RejectsBadArguments) {
   EXPECT_THROW(ParallelPlanEvaluator(t, 0), std::invalid_argument);
   ParallelPlanEvaluator parallel(t, 2);
   EXPECT_THROW(parallel.check({1, 2}), std::invalid_argument);
+}
+
+TEST(ScenarioLp, DeadlineHitReportsUnknownVerdict) {
+  topo::Topology t = figure1();
+  ScenarioLp lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(lp, t, {1, 1});
+  lp::SimplexOptions options;
+  options.deadline = util::Deadline::after_seconds(0.0);  // already expired
+  ScenarioCheck check = solve_scenario(lp, options, false);
+  EXPECT_EQ(check.verdict, Verdict::kUnknown);
+  EXPECT_TRUE(check.deadline_hit);
+  EXPECT_FALSE(check.feasible);  // degrades conservatively
+}
+
+TEST(ScenarioLp, UnlimitedDeadlineResolvesVerdict) {
+  topo::Topology t = figure1();
+  ScenarioLp lp = build_scenario_lp(t, kHealthyScenario, true);
+  set_plan_capacities(lp, t, {1, 1});
+  ScenarioCheck check = solve_scenario(lp, {}, false);
+  EXPECT_EQ(check.verdict, Verdict::kFeasible);
+  EXPECT_FALSE(check.deadline_hit);
+}
+
+TEST(Evaluator, ScenarioBudgetExhaustionDegradesToUnknown) {
+  topo::Topology t = figure1();
+  PlanEvaluator eval(t, EvaluatorMode::kVanilla);
+  eval.set_scenario_budget(1e-9);  // expires before the first iteration
+  const CheckResult r = eval.check({1, 1});
+  EXPECT_FALSE(r.feasible);  // conservative: unknown is treated as not-ok
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_GT(r.deadline_hits, 0);
+  // Lifting the budget restores a definite verdict on the same evaluator.
+  eval.set_scenario_budget(0.0);
+  eval.reset();
+  const CheckResult ok = eval.check({1, 1});
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_EQ(ok.verdict, Verdict::kFeasible);
+  EXPECT_EQ(ok.deadline_hits, 0);
+}
+
+TEST(ParallelEvaluator, ScenarioBudgetExhaustionDegradesToUnknown) {
+  topo::Topology t = figure1();
+  ParallelPlanEvaluator eval(t, 2);
+  eval.set_scenario_budget(1e-9);
+  const CheckResult r = eval.check({1, 1});
+  EXPECT_FALSE(r.feasible);
+  EXPECT_EQ(r.verdict, Verdict::kUnknown);
+  EXPECT_GT(r.deadline_hits, 0);
+  eval.set_scenario_budget(0.0);
+  const CheckResult ok = eval.check({1, 1});
+  EXPECT_TRUE(ok.feasible);
+  EXPECT_EQ(ok.verdict, Verdict::kFeasible);
+  EXPECT_EQ(ok.deadline_hits, 0);
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #include <thread>
 #include <vector>
 
+#include "util/deadline.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
@@ -272,6 +273,52 @@ TEST(ThreadPool, SubmitFutureRethrowsTaskException) {
 
 TEST(ThreadPool, HardwareThreadsAtLeastOne) {
   EXPECT_GE(util::ThreadPool::hardware_threads(), 1);
+}
+
+TEST(Rng, StateRoundTripResumesStream) {
+  Rng a(7);
+  for (int i = 0; i < 10; ++i) (void)a();
+  const auto snapshot = a.state();
+  std::vector<std::uint64_t> expected;
+  for (int i = 0; i < 20; ++i) expected.push_back(a());
+  Rng b(999);  // unrelated seed; state restore must fully overwrite it
+  b.set_state(snapshot);
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(b(), expected[static_cast<std::size_t>(i)]);
+}
+
+TEST(Rng, SetStateRejectsAllZero) {
+  Rng rng(1);
+  EXPECT_THROW(rng.set_state({0, 0, 0, 0}), std::invalid_argument);
+}
+
+TEST(Deadline, DefaultIsUnlimited) {
+  util::Deadline d;
+  EXPECT_TRUE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_TRUE(std::isinf(d.remaining_seconds()));
+  EXPECT_FALSE(util::Deadline::unlimited().expired());
+}
+
+TEST(Deadline, NonPositiveBudgetIsAlreadyExpired) {
+  EXPECT_TRUE(util::Deadline::after_seconds(0.0).expired());
+  EXPECT_TRUE(util::Deadline::after_seconds(-5.0).expired());
+  EXPECT_EQ(util::Deadline::after_seconds(-5.0).remaining_seconds(), 0.0);
+}
+
+TEST(Deadline, FutureBudgetNotYetExpired) {
+  const util::Deadline d = util::Deadline::after_seconds(3600.0);
+  EXPECT_FALSE(d.is_unlimited());
+  EXPECT_FALSE(d.expired());
+  EXPECT_GT(d.remaining_seconds(), 3500.0);
+  EXPECT_LE(d.remaining_seconds(), 3600.0);
+}
+
+TEST(Deadline, ExpiresAfterElapsedWallClock) {
+  const util::Deadline d = util::Deadline::after_seconds(0.01);
+  const auto until = std::chrono::steady_clock::now() + std::chrono::milliseconds(50);
+  while (std::chrono::steady_clock::now() < until) {}
+  EXPECT_TRUE(d.expired());
+  EXPECT_EQ(d.remaining_seconds(), 0.0);
 }
 
 }  // namespace

@@ -7,6 +7,8 @@
 //       neuroplan | ilp | ilp-heur | greedy | decomposition
 //   neuroplan_cli train <topo> <agent.ckpt> [epochs]
 //       [--rollout-workers N] [--batched-updates]      train + checkpoint an agent
+//       [--checkpoint-every N] [--resume <state>]      crash-safe full-state
+//                                                      snapshots -> <agent>.state
 //   neuroplan_cli report <topo> <plan-file>            operator report for a plan
 //
 // Global flags (any command, position-independent):
@@ -26,7 +28,9 @@
 // Plans are stored one integer per line (added units per link, in link
 // order). Exit code 0 = success / feasible, 1 = failure / infeasible,
 // 2 = usage error.
+#include <cerrno>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <sstream>
@@ -59,17 +63,42 @@ int usage() {
                "decomposition> [out.plan]\n"
                "  neuroplan_cli train <topo> <agent.ckpt> [epochs]"
                " [--rollout-workers N] [--batched-updates]\n"
+               "                [--checkpoint-every N] [--resume <state-file>]\n"
                "  neuroplan_cli report <topo> <plan-file>\n"
                "global flags: [--metrics-out <file.jsonl>]"
                " [--trace-out <file.json>]\n");
   return 2;
 }
 
+/// Strict decimal-integer argument parsing: the whole token must be a
+/// number in [min_value, max_value]. Anything else — letters, empty
+/// strings, trailing junk, out-of-range values — is a one-line error
+/// and a non-zero exit (via main's catch), never atoi's silent 0.
+long parse_long_arg(const char* what, const char* text, long min_value,
+                    long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error(std::string(what) + ": expected an integer, got '" +
+                             text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    throw std::runtime_error(std::string(what) + ": value " + text +
+                             " out of range [" + std::to_string(min_value) +
+                             ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
 std::vector<int> parse_plan_list(const std::string& csv) {
   std::vector<int> units;
   std::stringstream is(csv);
   std::string token;
-  while (std::getline(is, token, ',')) units.push_back(std::stoi(token));
+  while (std::getline(is, token, ',')) {
+    units.push_back(static_cast<int>(
+        parse_long_arg("plan units", token.c_str(), 0, 1000000)));
+  }
   return units;
 }
 
@@ -91,7 +120,9 @@ void save_plan_file(const std::string& path, const std::vector<int>& units) {
 int cmd_generate(int argc, char** argv) {
   if (argc < 4) return usage();
   const unsigned seed =
-      argc > 4 ? static_cast<unsigned>(std::atoi(argv[4])) : 1u;
+      argc > 4
+          ? static_cast<unsigned>(parse_long_arg("seed", argv[4], 0, 0xffffffffL))
+          : 1u;
   const topo::Topology t = topo::make_preset(argv[2][0], seed);
   topo::save_file(t, argv[3]);
   std::printf("wrote %s: %d sites, %d fibers, %d links, %d flows, %d failures\n",
@@ -216,21 +247,39 @@ int cmd_train(int argc, char** argv) {
   const topo::Topology t = topo::load_file(argv[2]);
   rl::TrainConfig config = core::default_train_config(
       t, static_cast<unsigned>(env_long("NEUROPLAN_SEED", 7)));
+  std::string resume_path;
   for (int i = 4; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--rollout-workers") {
       if (i + 1 >= argc) return usage();
-      config.rollout_workers = std::atoi(argv[++i]);
-      if (config.rollout_workers < 1) return usage();
+      config.rollout_workers =
+          static_cast<int>(parse_long_arg("--rollout-workers", argv[++i], 1, 4096));
     } else if (arg == "--batched-updates") {
       config.batched_updates = true;
-    } else if (i == 4 && !arg.empty() && arg[0] != '-') {
-      config.epochs = std::atoi(argv[i]);
+    } else if (arg == "--checkpoint-every") {
+      if (i + 1 >= argc) return usage();
+      config.checkpoint_every = static_cast<int>(
+          parse_long_arg("--checkpoint-every", argv[++i], 1, 1000000));
+      config.checkpoint_path = std::string(argv[3]) + ".state";
+    } else if (arg == "--resume") {
+      if (i + 1 >= argc) return usage();
+      resume_path = argv[++i];
+    } else if (i == 4) {
+      // Positional epochs. Anything unrecognized here (including "-3")
+      // goes through the strict parser so the error names the problem
+      // instead of dumping usage.
+      config.epochs =
+          static_cast<int>(parse_long_arg("epochs", argv[i], 1, 1000000));
     } else {
       return usage();
     }
   }
   rl::A2cTrainer trainer(t, config);
+  if (!resume_path.empty()) {
+    trainer.resume_from_checkpoint(resume_path);
+    std::printf("resumed from %s at epoch %d\n", resume_path.c_str(),
+                trainer.epochs_completed());
+  }
   const auto history = trainer.train();
   trainer.greedy_rollout();
   ad::save_parameters_file(trainer.network().all_parameters(), argv[3]);
