@@ -24,7 +24,9 @@ namespace np::bench {
 /// Schema version stamped into every emitted BENCH_*.json. Bump when a
 /// bench changes the meaning or layout of its JSON fields, so perf
 /// trajectories across PRs compare like with like.
-inline constexpr int kBenchSchemaVersion = 2;
+/// v3: lp_throughput gained the per-pricing-rule breakdown (multiple
+/// topologies per file, pricing_seconds/pricing_share per pass).
+inline constexpr int kBenchSchemaVersion = 3;
 
 /// Git revision baked in at configure time (bench/CMakeLists.txt);
 /// "unknown" outside a git checkout.

@@ -6,6 +6,7 @@
 #include <optional>
 #include <stdexcept>
 
+#include "la/sparse_vector.hpp"
 #include "lp/factor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
@@ -34,9 +35,28 @@ const char* to_string(SimplexEngine engine) {
   return "unknown";
 }
 
+const char* to_string(PricingRule rule) {
+  switch (rule) {
+    case PricingRule::kDantzig: return "dantzig";
+    case PricingRule::kDevex: return "devex";
+    case PricingRule::kSteepestEdge: return "steepest-edge";
+  }
+  return "unknown";
+}
+
 namespace {
 
 constexpr double kPivotTolerance = 1e-9;
+
+// Partial-pricing candidate list sizing. The list holds at most
+// kMaxCandidates (column, score) pairs; a refill scan stops once it
+// reaches kCandidateRefill live candidates, and runs at all only when
+// re-pricing left fewer than kCandidateLowWater survivors. Values
+// picked by sweeping the lp_throughput bench on topology B; larger
+// lists bought no iterations and cost scan time.
+constexpr int kMaxCandidates = 32;
+constexpr int kCandidateRefill = 8;
+constexpr int kCandidateLowWater = 4;
 
 /// Basis linear-algebra backend. The simplex only ever touches the
 /// basis through these primitives, so the sparse LU engine and the
@@ -61,6 +81,9 @@ class BasisEngine {
   /// Rank-one update after the basis exchange at position p, where w is
   /// the FTRAN result of the entering column.
   virtual void update(int p, const std::vector<double>& w) = 0;
+  /// ||B^{-1} a||^2 — exact steepest-edge column norm, used for the
+  /// slack-basis initialization and the debug weight audit.
+  virtual double ftran_norm2(ColumnView a) const = 0;
   /// Engine-initiated early refactorization (sparse eta-file growth).
   virtual bool prefers_refactor() const = 0;
 };
@@ -165,12 +188,20 @@ class DenseInverseEngine final : public BasisEngine {
     }
   }
 
+  double ftran_norm2(ColumnView a) const override {
+    ftran_column(a, scratch2_);
+    double norm2 = 0.0;
+    for (const double v : scratch2_) norm2 += v * v;
+    return norm2;
+  }
+
   bool prefers_refactor() const override { return false; }
 
  private:
   int m_ = 0;
   std::vector<double> binv_;
   mutable std::vector<double> scratch_;
+  mutable std::vector<double> scratch2_;  // ftran_norm2 result
 };
 
 /// Sparse LU + product-form eta file (lp/factor.hpp).
@@ -189,6 +220,9 @@ class SparseLuEngine final : public BasisEngine {
   }
   void update(int p, const std::vector<double>& w) override {
     factor_.append_eta(p, w);
+  }
+  double ftran_norm2(ColumnView a) const override {
+    return factor_.ftran_column_norm2(a);
   }
   bool prefers_refactor() const override { return factor_.prefers_refactor(); }
 
@@ -213,6 +247,7 @@ class Simplex {
     m_ = model.num_rows();
     n_real_ = n_struct_ + m_;        // structural + slacks
     n_total_ = n_real_ + m_;         // + artificials
+    pricing_ = options.pricing;
     engine_ = make_engine(options.engine);
     build_columns();
     build_bounds();
@@ -360,32 +395,65 @@ class Simplex {
     return 0.0;
   }
 
+  /// Cold start with a slack crash. Structural variables rest at a
+  /// bound; each row's slack then has implied value equal to the row
+  /// activity (slack coefficient is -1, so A z = 0 gives s_r =
+  /// activity_r). Where that value fits the slack's own bounds the
+  /// slack goes basic and the row starts feasible — no artificial.
+  /// Only rows whose activity violates the slack bounds (equality rows
+  /// with nonzero rhs, here the commodity source/sink conservation
+  /// rows) get an artificial, with the slack parked at the nearest
+  /// bound so the artificial absorbs the smallest possible residual.
+  /// This is what lets phase 1 scale with the number of *violated*
+  /// rows instead of all of m, and it keeps the initial basis a signed
+  /// diagonal (slack -1 / artificial +-1), which the steepest-edge
+  /// initializer exploits.
   void cold_start() {
     status_.assign(n_total_, VarStatus::kAtLower);
     val_.assign(n_total_, 0.0);
-    for (int j = 0; j < n_real_; ++j) {
+    for (int j = 0; j < n_struct_; ++j) {
       VarStatus st{};
       val_[j] = resting_value(j, &st);
       status_[j] = st;
     }
-    // Residual of A z = 0 given nonbasic values; artificials absorb it.
-    std::vector<double> residual(m_, 0.0);
-    for (int j = 0; j < n_real_; ++j) {
+    // Row activity of the structural columns at their resting values.
+    std::vector<double> activity(m_, 0.0);
+    for (int j = 0; j < n_struct_; ++j) {
       if (val_[j] == 0.0) continue;
-      for (const auto& [r, coeff] : col(j)) residual[r] -= coeff * val_[j];
+      for (const auto& [r, coeff] : col(j)) activity[r] += coeff * val_[j];
     }
     basis_.resize(m_);
     needs_phase1_ = false;
     for (int r = 0; r < m_; ++r) {
+      const int slack = n_struct_ + r;
       const int art = n_real_ + r;
-      col_entries_[col_start_[art]].second = residual[r] >= 0.0 ? 1.0 : -1.0;
-      val_[art] = std::abs(residual[r]);
+      if (activity[r] >= lb_[slack] - options_.feasibility_tolerance &&
+          activity[r] <= ub_[slack] + options_.feasibility_tolerance) {
+        status_[slack] = VarStatus::kBasic;
+        val_[slack] = activity[r];
+        basis_[r] = slack;
+        status_[art] = VarStatus::kAtLower;
+        val_[art] = 0.0;
+        continue;
+      }
+      // Nearest slack bound to the activity minimizes the residual the
+      // artificial has to carry.
+      if (activity[r] > ub_[slack]) {
+        status_[slack] = VarStatus::kAtUpper;
+        val_[slack] = ub_[slack];
+      } else {
+        status_[slack] = VarStatus::kAtLower;
+        val_[slack] = lb_[slack];
+      }
+      const double residual = val_[slack] - activity[r];
+      col_entries_[col_start_[art]].second = residual >= 0.0 ? 1.0 : -1.0;
+      val_[art] = std::abs(residual);
       status_[art] = VarStatus::kBasic;
       basis_[r] = art;
       if (val_[art] > options_.feasibility_tolerance) needs_phase1_ = true;
     }
     if (!refactor()) {
-      throw std::logic_error("Simplex: artificial basis must be invertible");
+      throw std::logic_error("Simplex: crash basis must be invertible");
     }
     compute_basic_values();
     factor_fresh_ = true;
@@ -576,6 +644,9 @@ class Simplex {
       basis_[p_leave] = enter;
 
       engine_->update(p_leave, w);
+      // Primal pricing weights do not track dual pivots; rebuild them
+      // lazily when (if) the primal loop runs next.
+      weights_valid_ = false;
       verified_terminal = false;
       if (++pivots_since_refactor >= options_.refactor_interval ||
           engine_->prefers_refactor()) {
@@ -757,12 +828,355 @@ class Simplex {
     if (any) engine_->btran_dense(y);
   }
 
+  // ---- pricing ----
+  //
+  // Entering-variable selection is pluggable (options.pricing). All
+  // rules maximize violation^2 / weight_j, where the violation is the
+  // reduced-cost excess past the optimality tolerance in the movable
+  // direction and the weight is rule-specific:
+  //
+  //   Dantzig        weight_j = 1 (same argmax as max |d_j|);
+  //   devex          weight_j approximates ||B^{-1} a_j||^2 against a
+  //                  reference framework (Forrest-Goldfarb), reset to
+  //                  all-ones on refactorization, invariant >= 1;
+  //   steepest edge  weight_j = gamma_j = 1 + ||B^{-1} a_j||^2 exactly,
+  //                  maintained by the recurrence below; survives
+  //                  refactorization (norms depend on the basis, not on
+  //                  how it is factorized).
+  //
+  // Per pivot (entering q at position p with FTRAN column w, pivot
+  // alpha_p = w[p], pivot row alpha_j = rho . a_j with
+  // rho = e_p^T B^{-1}):
+  //
+  //   devex:  gamma_j <- max(gamma_j, (alpha_j/alpha_p)^2 gamma_q)
+  //           gamma_r <- max(gamma_q / alpha_p^2, 1)    (leaving var r)
+  //   SE:     gamma_j <- gamma_j - 2 (alpha_j/alpha_p)(a_j . tau)
+  //                      + (alpha_j/alpha_p)^2 gamma_q
+  //           with tau = B^{-T} w (one extra BTRAN), exact
+  //           gamma_q = 1 + ||w||^2, and the provable floor
+  //           gamma_j >= 1 + (alpha_j/alpha_p)^2 clamped on;
+  //           gamma_r <- gamma_q / alpha_p^2  (>= 1 + 1/alpha_p^2).
+  //
+  // Columns with alpha_j = 0 are untouched, so both updates cost
+  // O(nnz of the rows hit by rho), hyper-sparse in the scenario LPs.
+
+  bool needs_weights() const { return pricing_ != PricingRule::kDantzig; }
+
+  double weight_for(int j) const {
+    return needs_weights() ? weight_[j] : 1.0;
+  }
+
+  /// Lazily (re)build the weight vector. Devex resets to the reference
+  /// framework (all ones). Steepest edge computes exact norms: free for
+  /// the crash basis, where every basic column is its own row's slack
+  /// or artificial so B is a signed diagonal and ||B^{-1} a_j|| =
+  /// ||a_j||; one hyper-sparse FTRAN per nonbasic column otherwise
+  /// (warm starts — which is why warm callers prefer devex or Dantzig).
+  void ensure_pricing_weights() {
+    if (!needs_weights() || weights_valid_) return;
+    Stopwatch stopwatch;
+    weight_.assign(n_total_, 1.0);
+    ++weight_resets_;
+    if (pricing_ == PricingRule::kSteepestEdge) {
+      bool signed_diagonal = true;
+      for (int r = 0; r < m_; ++r) {
+        if (basis_[r] != n_real_ + r && basis_[r] != n_struct_ + r) {
+          signed_diagonal = false;
+          break;
+        }
+      }
+      for (int j = 0; j < n_total_; ++j) {
+        if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
+        if (signed_diagonal) {
+          double norm2 = 0.0;
+          for (const auto& [r, coeff] : col(j)) norm2 += coeff * coeff;
+          weight_[j] = 1.0 + norm2;
+        } else {
+          weight_[j] = 1.0 + engine_->ftran_norm2(col(j));
+        }
+      }
+    }
+    weights_valid_ = true;
+    pricing_seconds_ += stopwatch.seconds();
+  }
+
+  /// Scatter the pivot row alpha = rho^T A into alpha_ (rho = row p of
+  /// the basis inverse). Row-wise: for every row touched by rho, walk
+  /// the model row plus that row's slack and artificial columns —
+  /// O(nnz of the touched rows) instead of one dot product per column.
+  void compute_pivot_row(const std::vector<double>& rho) {
+    if (alpha_.size() != n_total_) alpha_.resize(n_total_);  // O(n) once
+    alpha_.clear();                                          // O(pattern)
+    for (int r = 0; r < m_; ++r) {
+      const double rr = rho[r];
+      if (rr == 0.0) continue;
+      for (const auto& [var, coeff] : model_.row(r).coefficients) {
+        if (coeff != 0.0) alpha_.add(var, rr * coeff);
+      }
+      alpha_.add(n_struct_ + r, -rr);  // slack: coefficient -1
+      alpha_.add(n_real_ + r,
+                 rr * col_entries_[col_start_[n_real_ + r]].second);
+    }
+  }
+
+  /// Apply the per-pivot weight recurrences (see block comment above).
+  /// Must run BEFORE the basis exchange mutates status_/basis_ and
+  /// BEFORE engine_->update: rho and tau are rows of the OLD basis
+  /// inverse. `entering` enters at position p; w is its FTRAN column.
+  void update_pricing_weights(int entering, int p,
+                              const std::vector<double>& w) {
+    const double alpha_p = w[p];
+    if (std::abs(alpha_p) < kPivotTolerance) return;
+    engine_->btran_unit(p, rho_);
+    compute_pivot_row(rho_);
+    const int leaving = basis_[p];
+    const double inv_ap2 = 1.0 / (alpha_p * alpha_p);
+    if (pricing_ == PricingRule::kDevex) {
+      const double gamma_q = std::max(weight_[entering], 1.0);
+      for (const int j : alpha_.pattern()) {
+        if (j == entering || status_[j] == VarStatus::kBasic ||
+            lb_[j] == ub_[j]) {
+          continue;
+        }
+        const double aj = alpha_[j];
+        if (aj == 0.0) continue;
+        const double candidate = aj * aj * inv_ap2 * gamma_q;
+        if (candidate > weight_[j]) weight_[j] = candidate;
+      }
+      weight_[leaving] = std::max(gamma_q * inv_ap2, 1.0);
+    } else {  // steepest edge
+      double wnorm2 = 0.0;
+      for (const double v : w) wnorm2 += v * v;
+      const double gamma_q = 1.0 + wnorm2;  // exact norm of the entering col
+      tau_ = w;
+      engine_->btran_dense(tau_);  // tau = B^{-T} w, indexed by row
+      for (const int j : alpha_.pattern()) {
+        if (j == entering || status_[j] == VarStatus::kBasic ||
+            lb_[j] == ub_[j]) {
+          continue;
+        }
+        const double aj = alpha_[j];
+        if (aj == 0.0) continue;
+        const double ratio = aj / alpha_p;
+        double dot = 0.0;
+        for (const auto& [r, coeff] : col(j)) dot += tau_[r] * coeff;
+        const double updated =
+            weight_[j] - 2.0 * ratio * dot + ratio * ratio * gamma_q;
+        weight_[j] = std::max(updated, 1.0 + ratio * ratio);
+      }
+      weight_[leaving] = std::max(gamma_q * inv_ap2, 1.0 + inv_ap2);
+    }
+    // The entering variable turns basic; park its weight at the
+    // reference floor so no stale value leaks if it later leaves the
+    // basis through a path that skips the leaving-variable formula.
+    weight_[entering] = 1.0;
+  }
+
+  /// Weight contracts (debug / sanitizer builds): devex weights never
+  /// drop below the reference floor of 1; steepest-edge weights match
+  /// an exact norm recomputation on a bounded rotating sample of
+  /// nonbasic columns. The SE tolerance is loose — it exists to catch
+  /// index/sign bugs (orders-of-magnitude errors), not to bound honest
+  /// floating-point drift between refactorizations.
+  void check_pricing_weights(const char* where) {
+#if NP_CHECKS_ENABLED
+    if (!needs_weights() || !weights_valid_) return;
+    if (pricing_ == PricingRule::kDevex) {
+      for (int j = 0; j < n_total_; ++j) {
+        if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
+        NP_ASSERT(weight_[j] >= 1.0,
+                  where, ": devex weight of column ", j, " is ", weight_[j],
+                  " (must stay >= 1)");
+      }
+    } else {
+      const int sample = std::min(n_total_, 32);
+      int checked = 0;
+      for (int step = 0; step < n_total_ && checked < sample; ++step) {
+        const int j = (weight_audit_cursor_ + step) % n_total_;
+        if (status_[j] == VarStatus::kBasic || lb_[j] == ub_[j]) continue;
+        const double exact = 1.0 + engine_->ftran_norm2(col(j));
+        NP_ASSERT(std::abs(weight_[j] - exact) <= 5e-2 * exact + 1e-6,
+                  where, ": steepest-edge weight of column ", j, " is ",
+                  weight_[j], " but the exact norm is ", exact);
+        ++checked;
+      }
+      weight_audit_cursor_ = (weight_audit_cursor_ + sample) % n_total_;
+    }
+#else
+    (void)where;
+#endif
+  }
+
+  /// Refactorization hook for the pricing state: devex resets to the
+  /// reference framework (its weights approximate against the last
+  /// reset point and degrade as the basis drifts from it); exact
+  /// steepest-edge norms are basis-dependent only and survive — they
+  /// are audited instead.
+  void on_refactorized() {
+    if (pricing_ == PricingRule::kDevex && weights_valid_) {
+      Stopwatch stopwatch;
+      std::fill(weight_.begin(), weight_.end(), 1.0);
+      ++weight_resets_;
+      pricing_seconds_ += stopwatch.seconds();
+    }
+    check_pricing_weights("Simplex::on_refactorized");
+  }
+
+  /// Violation of column j against the current duals: reduced-cost
+  /// excess past the optimality tolerance in a direction j can move.
+  /// Returns false for basic/fixed/non-violating columns.
+  bool violation_of(int j, const std::vector<double>& y, double* violation,
+                    int* dir) const {
+    if (status_[j] == VarStatus::kBasic) return false;
+    if (lb_[j] == ub_[j]) return false;  // fixed (incl. retired artificials)
+    double d = cost_[j];
+    for (const auto& [r, coeff] : col(j)) d -= y[r] * coeff;
+    if (status_[j] == VarStatus::kAtLower &&
+        d < -options_.optimality_tolerance) {
+      *dir = +1; *violation = -d; return true;
+    }
+    if (status_[j] == VarStatus::kAtUpper &&
+        d > options_.optimality_tolerance) {
+      *dir = -1; *violation = d; return true;
+    }
+    if (status_[j] == VarStatus::kNonbasicFree &&
+        std::abs(d) > options_.optimality_tolerance) {
+      *dir = d < 0.0 ? +1 : -1; *violation = std::abs(d); return true;
+    }
+    return false;
+  }
+
+  struct PricingChoice {
+    int j = -1;
+    int dir = 0;
+  };
+
+  /// Candidate-list entry: a column that violated optimality when last
+  /// priced, with its weighted score at that time (scores are refreshed
+  /// every iteration; the stored value only orders evictions).
+  struct Candidate {
+    int j = 0;
+    double score = 0.0;
+  };
+
+  void reset_candidates() {
+    candidates_.clear();
+    in_candidates_.assign(n_total_, 0);
+  }
+
+  /// Select the entering variable. Bland mode scans for the lowest
+  /// eligible index (anti-cycling). Otherwise, below the partial
+  /// threshold every column is priced; above it the candidate list is
+  /// re-priced against the current duals and refilled round-robin from
+  /// column shards when it runs thin. Optimality (j = -1) is only ever
+  /// returned from a scan that covered all columns with the current
+  /// duals: either the full sweep, or a refill pass that visited every
+  /// shard and found nothing.
+  PricingChoice price_entering(const std::vector<double>& y, bool bland) {
+    PricingChoice best;
+    if (bland) {
+      for (int j = 0; j < n_total_; ++j) {
+        double violation; int dir;
+        if (violation_of(j, y, &violation, &dir)) {
+          best.j = j; best.dir = dir;
+          break;
+        }
+      }
+      return best;
+    }
+
+    double best_score = 0.0;
+    auto consider = [&](int j, double violation, int dir) {
+      const double score = violation * violation / weight_for(j);
+      if (score > best_score) {
+        best_score = score;
+        best.j = j;
+        best.dir = dir;
+      }
+      return score;
+    };
+
+    const bool partial = options_.partial_pricing_threshold > 0 &&
+                         n_total_ > options_.partial_pricing_threshold;
+    if (!partial) {
+      for (int j = 0; j < n_total_; ++j) {
+        double violation; int dir;
+        if (violation_of(j, y, &violation, &dir)) consider(j, violation, dir);
+      }
+      candidates_scanned_ += n_total_;
+      return best;
+    }
+
+    // Re-price the surviving candidates in place.
+    std::size_t keep = 0;
+    for (Candidate& cand : candidates_) {
+      ++candidates_scanned_;
+      double violation; int dir;
+      if (violation_of(cand.j, y, &violation, &dir)) {
+        cand.score = consider(cand.j, violation, dir);
+        candidates_[keep++] = cand;
+      } else {
+        in_candidates_[cand.j] = 0;
+      }
+    }
+    candidates_.resize(keep);
+
+    if (static_cast<int>(candidates_.size()) >= kCandidateLowWater) {
+      return best;  // healthy list: pivot on its best
+    }
+
+    // Refill round-robin from column shards. The cursor advances past
+    // every scanned shard unconditionally, so consecutive iterations
+    // never rescan the same shard while others still hold candidates
+    // (the seed's rotating-window bug under degenerate pricing).
+    ++heap_rebuilds_;
+    const int shard_size = std::max(64, n_total_ / 16);
+    const int num_shards = (n_total_ + shard_size - 1) / shard_size;
+    if (shard_cursor_ >= num_shards) shard_cursor_ = 0;
+    for (int scanned = 0; scanned < num_shards; ++scanned) {
+      if (static_cast<int>(candidates_.size()) >= kCandidateRefill) break;
+      const int shard = shard_cursor_;
+      shard_cursor_ = shard_cursor_ + 1 == num_shards ? 0 : shard_cursor_ + 1;
+      const int begin = shard * shard_size;
+      const int end = std::min(n_total_, begin + shard_size);
+      for (int j = begin; j < end; ++j) {
+        if (in_candidates_[j]) continue;  // already re-priced above
+        ++candidates_scanned_;
+        double violation; int dir;
+        if (!violation_of(j, y, &violation, &dir)) continue;
+        const double score = consider(j, violation, dir);
+        if (static_cast<int>(candidates_.size()) < kMaxCandidates) {
+          candidates_.push_back({j, score});
+          in_candidates_[j] = 1;
+        } else {
+          // Full list: evict the weakest entry if this one beats it.
+          std::size_t worst = 0;
+          for (std::size_t k = 1; k < candidates_.size(); ++k) {
+            if (candidates_[k].score < candidates_[worst].score) worst = k;
+          }
+          if (candidates_[worst].score < score) {
+            in_candidates_[candidates_[worst].j] = 0;
+            candidates_[worst] = {j, score};
+            in_candidates_[j] = 1;
+          }
+        }
+      }
+    }
+    // best.j < 0 here implies the survivors list was empty AND the
+    // refill visited all shards (it only stops early once it has found
+    // candidates) — i.e. a full sweep with current duals found nothing.
+    return best;
+  }
+
   // ---- main loop ----
 
   SolveStatus iterate(const Stopwatch& watch, bool phase1) {
     std::vector<double> y, w;
     int degenerate_streak = 0;
     int pivots_since_refactor = 0;
+    // Stale candidate scores from the other phase (different costs) are
+    // useless; the list restarts empty.
+    reset_candidates();
     for (;;) {
       if (iterations_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
       if (watch.seconds() > options_.time_limit_seconds ||
@@ -773,58 +1187,22 @@ class Simplex {
 
       compute_duals(y);
       const bool bland = degenerate_streak > 256;
-      int entering = -1;
-      int entering_dir = 0;
-      double best_violation = options_.optimality_tolerance;
-      // Prices column j; returns true when Bland's rule selected it and
-      // the scan must stop immediately.
-      auto price = [&](int j) {
-        if (status_[j] == VarStatus::kBasic) return false;
-        if (lb_[j] == ub_[j]) return false;  // fixed (incl. retired artificials)
-        double d = cost_[j];
-        for (const auto& [r, coeff] : col(j)) d -= y[r] * coeff;
-        int dir = 0;
-        double violation = 0.0;
-        if (status_[j] == VarStatus::kAtLower && d < -options_.optimality_tolerance) {
-          dir = +1; violation = -d;
-        } else if (status_[j] == VarStatus::kAtUpper && d > options_.optimality_tolerance) {
-          dir = -1; violation = d;
-        } else if (status_[j] == VarStatus::kNonbasicFree &&
-                   std::abs(d) > options_.optimality_tolerance) {
-          dir = d < 0.0 ? +1 : -1; violation = std::abs(d);
-        }
-        if (dir == 0) return false;
-        if (bland) { entering = j; entering_dir = dir; return true; }
-        if (violation > best_violation) {
-          best_violation = violation;
-          entering = j;
-          entering_dir = dir;
-        }
-        return false;
-      };
-      const bool partial = !bland && options_.partial_pricing_threshold > 0 &&
-                           n_total_ > options_.partial_pricing_threshold;
-      if (!partial) {
-        for (int j = 0; j < n_total_; ++j) {
-          if (price(j)) break;
-        }
-      } else {
-        // Cyclic partial pricing: scan windows from a rotating cursor
-        // and pivot on the first window holding a candidate. Optimality
-        // is still only declared after a full sweep finds nothing, so
-        // this changes the pivot order but never the verdict.
-        const int window = std::max(64, n_total_ / 16);
-        int j = pricing_cursor_ % n_total_;
-        for (int scanned = 1; scanned <= n_total_; ++scanned) {
-          price(j);
-          j = j + 1 == n_total_ ? 0 : j + 1;
-          if (entering >= 0 && (scanned % window == 0 || scanned == n_total_)) {
-            break;
-          }
-        }
-        pricing_cursor_ = j;
+      if (!bland) ensure_pricing_weights();
+      PricingChoice choice;
+      {
+        // Timed, not spanned: the per-solve "lp.price" trace event is
+        // emitted once in finish() from the accumulated total — a
+        // per-iteration RAII span would flood the trace buffers.
+        Stopwatch stopwatch;
+        choice = price_entering(y, bland);
+        pricing_seconds_ += stopwatch.seconds();
       }
-      if (entering < 0) return SolveStatus::kOptimal;
+      if (choice.j < 0) {
+        check_pricing_weights("Simplex::iterate optimal");
+        return SolveStatus::kOptimal;
+      }
+      const int entering = choice.j;
+      const int entering_dir = choice.dir;
 
       ftran(entering, w);
 
@@ -881,6 +1259,20 @@ class Simplex {
         continue;
       }
 
+      // Weight recurrences need the OLD basis inverse (rho, tau) and
+      // the pre-exchange status_/basis_, so they run before the swap.
+      // Pivots taken under Bland's rule skip the update; devex degrades
+      // gracefully (weights stay >= 1, still an approximation) but
+      // exact steepest-edge norms are invalidated and rebuilt when
+      // regular pricing resumes.
+      if (!bland && needs_weights() && weights_valid_) {
+        Stopwatch stopwatch;
+        update_pricing_weights(entering, leaving_pos, w);
+        pricing_seconds_ += stopwatch.seconds();
+      } else if (bland && pricing_ == PricingRule::kSteepestEdge) {
+        weights_valid_ = false;
+      }
+
       const int leaving = basis_[leaving_pos];
       const double delta = entering_dir * leaving_pivot;
       status_[leaving] = delta > 0.0 ? VarStatus::kAtLower : VarStatus::kAtUpper;
@@ -898,6 +1290,7 @@ class Simplex {
         }
         compute_basic_values();
         factor_fresh_ = true;
+        on_refactorized();
       }
     }
   }
@@ -932,6 +1325,7 @@ class Simplex {
       status_[enter] = VarStatus::kBasic;
       basis_[p] = enter;
       engine_->update(p, w);
+      weights_valid_ = false;  // pivots the pricing loop never saw
     }
   }
 
@@ -939,6 +1333,17 @@ class Simplex {
     solution.status = status;
     solution.iterations = iterations_;
     solution.solve_seconds = watch.seconds();
+    solution.pricing_seconds = pricing_seconds_;
+    // Pricing telemetry, accumulated locally and flushed once per solve
+    // (the counters are shared atomics; per-iteration adds would put
+    // contended RMWs in the hot loop under the parallel evaluator).
+    static obs::Counter& scanned = obs::counter("lp.pricing.candidates_scanned");
+    static obs::Counter& rebuilds = obs::counter("lp.pricing.heap_rebuilds");
+    static obs::Counter& resets = obs::counter("lp.pricing.weight_resets");
+    if (candidates_scanned_ > 0) scanned.add(candidates_scanned_);
+    if (heap_rebuilds_ > 0) rebuilds.add(heap_rebuilds_);
+    if (weight_resets_ > 0) resets.add(weight_resets_);
+    obs::record_aggregate_span("lp.price", pricing_seconds_ * 1e6);
     if (status == SolveStatus::kOptimal) {
       purge_artificials();
       check_basis_invariants("Simplex::finish optimal");
@@ -979,7 +1384,26 @@ class Simplex {
   // updates since — i.e. val_ can be trusted for terminal verdicts.
   bool factor_fresh_ = false;
   long iterations_ = 0;
-  int pricing_cursor_ = 0;  // partial-pricing rotation state
+
+  // ---- pricing state ----
+  PricingRule pricing_ = PricingRule::kDevex;
+  // True while weight_ tracks the current basis (devex: since the last
+  // reference reset; steepest edge: exact norms). Invalidated by pivots
+  // the pricing loop never sees (dual repair, artificial purging,
+  // Bland-mode pivots under steepest edge) and rebuilt lazily.
+  bool weights_valid_ = false;
+  std::vector<double> weight_;
+  std::vector<Candidate> candidates_;   // partial-pricing candidate list
+  std::vector<char> in_candidates_;     // column -> on candidates_?
+  int shard_cursor_ = 0;                // round-robin refill position
+  int weight_audit_cursor_ = 0;         // rotating debug-audit sample
+  double pricing_seconds_ = 0.0;
+  long candidates_scanned_ = 0;
+  long heap_rebuilds_ = 0;
+  long weight_resets_ = 0;
+  std::vector<double> rho_;   // btran_unit scratch (pivot row of B^{-1})
+  std::vector<double> tau_;   // steepest-edge B^{-T} w scratch
+  la::ScatterVector alpha_;   // pivot row rho^T A, stamp-deduplicated
 
   // Computational-form matrix in flat CSC layout: column j's (row,
   // coeff) entries are col_entries_[col_start_[j] .. col_start_[j+1]).

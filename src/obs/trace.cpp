@@ -1,5 +1,6 @@
 #include "obs/trace.hpp"
 
+#include <algorithm>
 #include <chrono>
 #include <cstring>
 #include <memory>
@@ -114,6 +115,13 @@ void record_span(ThreadBuffer& buffer, const char* name, double start_us,
 }
 
 }  // namespace detail
+
+void record_aggregate_span(const char* name, double duration_us) {
+  if (!tracing_enabled() || duration_us <= 0.0) return;
+  const double end = now_us();
+  detail::record_span(detail::thread_buffer(), name,
+                      std::max(0.0, end - duration_us), end);
+}
 
 std::size_t trace_event_count() {
   std::size_t total = 0;

@@ -62,6 +62,16 @@ void record_span(ThreadBuffer& buffer, const char* name, double start_us,
                  double end_us);
 }  // namespace detail
 
+/// Record one complete event with explicit bounds. For spans whose time
+/// is accumulated across a hot loop and emitted once per enclosing unit
+/// of work (e.g. "lp.price" sums per-iteration pricing time and emits
+/// one event per solve) — a per-iteration RAII Span would flood the
+/// buffers. The event is back-dated to end at "now", so its duration
+/// aggregates correctly in trace_summary but its placement on the
+/// timeline is synthetic. No-op while tracing is disabled. `name` must
+/// outlive the export (string literal).
+void record_aggregate_span(const char* name, double duration_us);
+
 /// RAII complete-event span. `name` must be a string literal (or
 /// otherwise outlive the export) — spans store the pointer, not a copy.
 class Span {

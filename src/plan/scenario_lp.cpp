@@ -191,10 +191,14 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
     // only deepen the stall the deadline exists to bound.
     static obs::Counter& cold_retries = obs::counter("plan.cold_retries");
     cold_retries.add(1);
+    // The retry keeps the caller's pricing rule on purpose: callers
+    // pick pricing per cold/warm path themselves, and the bench relies
+    // on per-rule measurements staying uncontaminated.
     options.warm_start = nullptr;
     lp::Solution retry = lp::solve(lp.model, options);
     retry.iterations += solution.iterations;
     retry.solve_seconds += solution.solve_seconds;
+    retry.pricing_seconds += solution.pricing_seconds;
     solution = std::move(retry);
   }
   // Warm-start hit rate: a hit is a warm attempt that finished on the
@@ -215,6 +219,7 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
   ScenarioCheck check;
   check.lp_iterations = solution.iterations;
   check.solve_seconds = solution.solve_seconds;
+  check.pricing_seconds = solution.pricing_seconds;
   if (solution.status != lp::SolveStatus::kOptimal) {
     // The elastic LP is feasible by construction; a non-optimal status
     // means a resource limit was hit. The verdict is kUnknown and the

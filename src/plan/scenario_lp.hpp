@@ -69,6 +69,9 @@ struct ScenarioCheck {
   /// Wall-clock seconds spent inside lp::solve (including a cold retry
   /// after a failed warm start).
   double solve_seconds = 0.0;
+  /// Seconds of solve_seconds spent in entering-variable pricing (the
+  /// bench's pricing-time share).
+  double pricing_seconds = 0.0;
 };
 
 /// Solve the elastic LP (optionally warm-started from lp.basis) and

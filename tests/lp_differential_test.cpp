@@ -1,12 +1,15 @@
-// Differential tests for the simplex basis engines: the sparse-LU
-// default and the dense-inverse reference are interchangeable backends
-// of the same simplex, so on any model they must return identical
-// verdicts and (for optimal solves) objectives within 1e-7 — on the
-// scenario feasibility LPs the evaluators solve, on warm-started
-// trajectories, and on randomized general LPs. Plus property tests of
-// BasisFactor itself: a factorization (before and after product-form
-// eta accumulation, including degenerate exchanges) must keep solving
-// the basis it claims to represent.
+// Differential tests for the simplex backends: the sparse-LU and
+// dense-inverse basis engines crossed with the three pricing rules
+// (Dantzig / devex / steepest edge) are interchangeable configurations
+// of the same simplex, so on any model every combination must return
+// identical verdicts and (for optimal solves) objectives within 1e-7 —
+// on the scenario feasibility LPs the evaluators solve, on
+// warm-started trajectories, and on randomized general LPs. Plus
+// pricing regressions (degenerate LPs must terminate under partial
+// pricing; weight invariants must hold under frequent refactorization)
+// and property tests of BasisFactor itself: a factorization (before
+// and after product-form eta accumulation, including degenerate
+// exchanges) must keep solving the basis it claims to represent.
 //
 // All randomness is seeded; NEUROPLAN_TEST_SEED offsets every seed so
 // a different corpus can be swept reproducibly.
@@ -32,9 +35,16 @@ std::uint64_t test_seed(unsigned salt) {
          salt * 7919u + 131u;
 }
 
-SimplexOptions engine_options(SimplexEngine engine) {
+constexpr SimplexEngine kEngines[] = {SimplexEngine::kSparseLu,
+                                      SimplexEngine::kDenseInverse};
+constexpr PricingRule kRules[] = {PricingRule::kDantzig, PricingRule::kDevex,
+                                  PricingRule::kSteepestEdge};
+
+SimplexOptions solver_options(SimplexEngine engine,
+                              PricingRule rule = PricingRule::kDevex) {
   SimplexOptions options;
   options.engine = engine;
+  options.pricing = rule;
   options.max_iterations = 1000000;
   return options;
 }
@@ -62,20 +72,27 @@ TEST(EngineDifferential, ScenarioLpsAgreeAcrossCapacityPlans) {
               rng.uniform_index(static_cast<std::size_t>(headroom) + 1));
         }
         plan::set_plan_capacities(lp, topology, units);
-        const Solution sparse =
-            solve(lp.model, engine_options(SimplexEngine::kSparseLu));
-        const Solution dense =
-            solve(lp.model, engine_options(SimplexEngine::kDenseInverse));
-        SCOPED_TRACE(::testing::Message()
-                     << (aggregate ? "aggregated" : "per-flow") << " scenario "
-                     << scenario << " trial " << trial << " seed "
-                     << test_seed(1));
-        ASSERT_EQ(sparse.status, SolveStatus::kOptimal);
-        ASSERT_EQ(dense.status, SolveStatus::kOptimal);
-        expect_objectives_match(sparse.objective, dense.objective);
-        // Identical feasibility verdicts under the evaluator's rule.
+        // Reference: sparse LU under Dantzig; every engine x rule combo
+        // must agree with it.
+        const Solution reference = solve(
+            lp.model, solver_options(SimplexEngine::kSparseLu, kRules[0]));
         const double tol = 1e-6 * std::max(1.0, lp.total_demand);
-        EXPECT_EQ(sparse.objective <= tol, dense.objective <= tol);
+        for (const SimplexEngine engine : kEngines) {
+          for (const PricingRule rule : kRules) {
+            if (engine == kEngines[0] && rule == kRules[0]) continue;
+            const Solution got = solve(lp.model, solver_options(engine, rule));
+            SCOPED_TRACE(::testing::Message()
+                         << (aggregate ? "aggregated" : "per-flow")
+                         << " scenario " << scenario << " trial " << trial
+                         << " engine " << to_string(engine) << " rule "
+                         << to_string(rule) << " seed " << test_seed(1));
+            ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+            ASSERT_EQ(got.status, SolveStatus::kOptimal);
+            expect_objectives_match(got.objective, reference.objective);
+            // Identical feasibility verdicts under the evaluator's rule.
+            EXPECT_EQ(got.objective <= tol, reference.objective <= tol);
+          }
+        }
       }
     }
   }
@@ -83,14 +100,25 @@ TEST(EngineDifferential, ScenarioLpsAgreeAcrossCapacityPlans) {
 
 TEST(EngineDifferential, WarmTrajectoriesAgree) {
   // Replay one env-like trajectory (one link upgraded per step, every
-  // scenario re-checked warm) once per engine; the engines' warm paths
-  // must produce the same verdicts and objectives at every step.
+  // scenario re-checked warm) once per engine x pricing-rule combo in
+  // lockstep; every combo's warm path must produce the same verdicts
+  // and objectives at every step.
   const topo::Topology topology = topo::make_preset('B');
   const int scenarios = topology.num_failures() + 1;
-  std::vector<plan::ScenarioLp> sparse_lps, dense_lps;
-  for (int s = 0; s < scenarios; ++s) {
-    sparse_lps.push_back(plan::build_scenario_lp(topology, s, true));
-    dense_lps.push_back(plan::build_scenario_lp(topology, s, true));
+  struct Combo {
+    SimplexEngine engine;
+    PricingRule rule;
+    std::vector<plan::ScenarioLp> lps;
+  };
+  std::vector<Combo> combos;
+  for (const SimplexEngine engine : kEngines) {
+    for (const PricingRule rule : kRules) {
+      Combo combo{engine, rule, {}};
+      for (int s = 0; s < scenarios; ++s) {
+        combo.lps.push_back(plan::build_scenario_lp(topology, s, true));
+      }
+      combos.push_back(std::move(combo));
+    }
   }
   Rng rng(test_seed(2));
   std::vector<int> units = topology.initial_units();
@@ -98,16 +126,23 @@ TEST(EngineDifferential, WarmTrajectoriesAgree) {
     const int l = static_cast<int>(rng.uniform_index(topology.num_links()));
     if (topology.spectrum_headroom_units(l, units) > 0) units[l] += 1;
     for (int s = 0; s < scenarios; ++s) {
-      plan::set_plan_capacities(sparse_lps[s], topology, units);
-      plan::set_plan_capacities(dense_lps[s], topology, units);
-      const plan::ScenarioCheck sparse = plan::solve_scenario(
-          sparse_lps[s], engine_options(SimplexEngine::kSparseLu), true);
-      const plan::ScenarioCheck dense = plan::solve_scenario(
-          dense_lps[s], engine_options(SimplexEngine::kDenseInverse), true);
-      SCOPED_TRACE(::testing::Message() << "step " << step << " scenario " << s
-                                        << " seed " << test_seed(2));
-      EXPECT_EQ(sparse.feasible, dense.feasible);
-      expect_objectives_match(sparse.unserved_gbps, dense.unserved_gbps);
+      plan::ScenarioCheck reference{};
+      for (std::size_t c = 0; c < combos.size(); ++c) {
+        Combo& combo = combos[c];
+        plan::set_plan_capacities(combo.lps[s], topology, units);
+        const plan::ScenarioCheck got = plan::solve_scenario(
+            combo.lps[s], solver_options(combo.engine, combo.rule), true);
+        if (c == 0) {
+          reference = got;
+          continue;
+        }
+        SCOPED_TRACE(::testing::Message()
+                     << "step " << step << " scenario " << s << " engine "
+                     << to_string(combo.engine) << " rule "
+                     << to_string(combo.rule) << " seed " << test_seed(2));
+        EXPECT_EQ(got.feasible, reference.feasible);
+        expect_objectives_match(got.unserved_gbps, reference.unserved_gbps);
+      }
     }
   }
 }
@@ -147,20 +182,80 @@ TEST(EngineDifferential, RandomGeneralLpsAgree) {
         default: m.add_row(mid - half, mid + half, std::move(coeffs)); break;
       }
     }
-    const Solution sparse = solve(m, engine_options(SimplexEngine::kSparseLu));
-    const Solution dense = solve(m, engine_options(SimplexEngine::kDenseInverse));
-    SCOPED_TRACE(::testing::Message() << "trial " << trial << " seed "
-                                      << test_seed(3));
-    EXPECT_EQ(sparse.status, dense.status);
-    if (sparse.status == SolveStatus::kOptimal &&
-        dense.status == SolveStatus::kOptimal) {
-      ++optimal;
-      expect_objectives_match(sparse.objective, dense.objective);
-      EXPECT_LE(m.max_violation(sparse.x), 1e-6);
-      EXPECT_LE(m.max_violation(dense.x), 1e-6);
+    const Solution reference =
+        solve(m, solver_options(SimplexEngine::kSparseLu, kRules[0]));
+    bool all_optimal = reference.status == SolveStatus::kOptimal;
+    for (const SimplexEngine engine : kEngines) {
+      for (const PricingRule rule : kRules) {
+        if (engine == kEngines[0] && rule == kRules[0]) continue;
+        const Solution got = solve(m, solver_options(engine, rule));
+        SCOPED_TRACE(::testing::Message()
+                     << "trial " << trial << " engine " << to_string(engine)
+                     << " rule " << to_string(rule) << " seed "
+                     << test_seed(3));
+        EXPECT_EQ(got.status, reference.status);
+        all_optimal = all_optimal && got.status == SolveStatus::kOptimal;
+        if (got.status == SolveStatus::kOptimal &&
+            reference.status == SolveStatus::kOptimal) {
+          expect_objectives_match(got.objective, reference.objective);
+          EXPECT_LE(m.max_violation(got.x), 1e-6);
+        }
+      }
     }
+    if (all_optimal) ++optimal;
   }
   EXPECT_GE(optimal, 30);  // the sweep must actually exercise optimal solves
+}
+
+// ---- pricing regressions ----
+
+/// A degenerate LP: rows x_a + x_b <= 0 with x >= 0 pin every variable
+/// to zero while profitable-looking reduced costs (cost -1) keep
+/// tempting entering candidates whose ratio test allows no movement.
+/// Regression for the partial-pricing fall-through: the solver must
+/// still terminate at the (all-zero) optimum, and must do so with the
+/// candidate list forced on (threshold below the column count).
+TEST(Pricing, DegenerateLpTerminatesUnderPartialPricing) {
+  for (const SimplexEngine engine : kEngines) {
+    for (const PricingRule rule : kRules) {
+      Model m;
+      const int n = 40;
+      for (int j = 0; j < n; ++j) m.add_variable(0.0, kInfinity, -1.0);
+      for (int j = 0; j + 1 < n; j += 2) {
+        m.add_row(-kInfinity, 0.0, {{j, 1.0}, {j + 1, 1.0}});
+      }
+      SimplexOptions options = solver_options(engine, rule);
+      options.partial_pricing_threshold = 8;  // force the candidate list
+      options.max_iterations = 10000;         // termination, not a time out
+      const Solution solution = solve(m, options);
+      SCOPED_TRACE(::testing::Message() << "engine " << to_string(engine)
+                                        << " rule " << to_string(rule));
+      ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+      EXPECT_NEAR(solution.objective, 0.0, 1e-9);
+    }
+  }
+}
+
+/// Frequent refactorization exercises the devex reset-to-reference and
+/// the steepest-edge weight audit (NP_CHECK contracts in debug builds:
+/// devex weights >= 1, steepest-edge weights equal to the true norm).
+/// In release builds this still pins down verdict/objective stability
+/// under a pathological refactor cadence.
+TEST(Pricing, WeightInvariantsHoldUnderFrequentRefactorization) {
+  const topo::Topology topology = topo::make_preset('B');
+  plan::ScenarioLp lp = plan::build_scenario_lp(topology, 0, false);
+  plan::set_plan_capacities(lp, topology, topology.initial_units());
+  const Solution reference =
+      solve(lp.model, solver_options(SimplexEngine::kSparseLu));
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+  for (const PricingRule rule : kRules) {
+    SimplexOptions options = solver_options(SimplexEngine::kSparseLu, rule);
+    options.refactor_interval = 8;
+    const Solution got = solve(lp.model, options);
+    SCOPED_TRACE(::testing::Message() << "rule " << to_string(rule));
+    ASSERT_EQ(got.status, SolveStatus::kOptimal);
+    expect_objectives_match(got.objective, reference.objective);
+  }
 }
 
 // ---- BasisFactor properties ----
