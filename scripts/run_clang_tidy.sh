@@ -4,7 +4,13 @@
 # CMake (CMAKE_EXPORT_COMPILE_COMMANDS is on by default).
 #
 # Usage:
-#   scripts/run_clang_tidy.sh [build-dir]
+#   scripts/run_clang_tidy.sh [--changed] [build-dir]
+#
+# --changed lints only the .cpp files under src/ and tools/ that differ
+# from the merge base with origin/main (falling back to main when no
+# remote is configured) — the fast pre-push loop. CI always runs the
+# full sweep so a clean --changed pass can never hide a finding that a
+# header edit introduced into an untouched translation unit.
 #
 # Environment:
 #   CLANG_TIDY              clang-tidy binary to use (default: clang-tidy)
@@ -17,6 +23,11 @@
 set -euo pipefail
 
 repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+changed_only=0
+if [[ "${1:-}" == "--changed" ]]; then
+  changed_only=1
+  shift
+fi
 build_dir="${1:-"${repo_root}/build"}"
 tidy_bin="${CLANG_TIDY:-clang-tidy}"
 strict="${NEUROPLAN_TIDY_STRICT:-0}"
@@ -40,7 +51,20 @@ fi
 
 # Library and CLI translation units only: test files are dominated by
 # gtest macro expansions, which drown the signal of the curated set.
-mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" -name '*.cpp' | sort)
+if [[ "${changed_only}" == "1" ]]; then
+  base="origin/main"
+  git -C "${repo_root}" rev-parse --verify -q "${base}" >/dev/null || base="main"
+  mapfile -t files < <(
+    git -C "${repo_root}" diff --name-only --diff-filter=d "${base}..." -- \
+        'src/*.cpp' 'tools/*.cpp' \
+      | sed "s|^|${repo_root}/|" | sort)
+  if [[ ${#files[@]} -eq 0 ]]; then
+    echo "clang-tidy --changed: no src/ or tools/ .cpp files differ from ${base}"
+    exit 0
+  fi
+else
+  mapfile -t files < <(find "${repo_root}/src" "${repo_root}/tools" -name '*.cpp' | sort)
+fi
 echo "clang-tidy ($("${tidy_bin}" --version | head -n1)) over ${#files[@]} files, ${jobs} jobs"
 
 status=0

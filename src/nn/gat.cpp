@@ -27,7 +27,7 @@ GatEncoder::GatEncoder(std::string name, int in_features, int hidden, int layers
 std::shared_ptr<const std::vector<std::vector<int>>> GatEncoder::neighbor_lists(
     const std::shared_ptr<const la::CsrMatrix>& adjacency) {
   {
-    std::lock_guard<std::mutex> lock(cache_mutex_);
+    util::LockGuard lock(cache_mutex_);
     auto it = neighbor_cache_.find(adjacency.get());
     if (it != neighbor_cache_.end()) return it->second;
   }
@@ -40,7 +40,7 @@ std::shared_ptr<const std::vector<std::vector<int>>> GatEncoder::neighbor_lists(
       (*lists)[r].push_back(static_cast<int>(adjacency->col_indices()[k]));
     }
   }
-  std::lock_guard<std::mutex> lock(cache_mutex_);
+  util::LockGuard lock(cache_mutex_);
   // Bound the cache: keyed by adjacency address, so long-lived encoders
   // seeing many transient matrices would otherwise grow without limit
   // (and a recycled address must not alias a stale entry list).

@@ -7,11 +7,11 @@
 // reproduces that comparison.
 #pragma once
 
-#include <mutex>
 #include <unordered_map>
 
 #include "nn/encoder.hpp"
 #include "nn/linear.hpp"
+#include "util/mutex.hpp"
 
 namespace np::nn {
 
@@ -38,15 +38,16 @@ class GatEncoder final : public GraphEncoder {
   /// cached per adjacency object. Guarded by cache_mutex_ so concurrent
   /// rollout workers can share one encoder safely.
   std::shared_ptr<const std::vector<std::vector<int>>> neighbor_lists(
-      const std::shared_ptr<const la::CsrMatrix>& adjacency);
+      const std::shared_ptr<const la::CsrMatrix>& adjacency)
+      NP_EXCLUDES(cache_mutex_);
 
   int in_features_;
   int hidden_;
   std::vector<AttentionLayer> layers_;
-  std::mutex cache_mutex_;
+  util::Mutex cache_mutex_;
   std::unordered_map<const la::CsrMatrix*,
                      std::shared_ptr<const std::vector<std::vector<int>>>>
-      neighbor_cache_;
+      neighbor_cache_ NP_GUARDED_BY(cache_mutex_);
 };
 
 }  // namespace np::nn

@@ -2,8 +2,6 @@
 
 #include <cstdio>
 #include <limits>
-#include <map>
-#include <mutex>
 
 namespace np::obs {
 
@@ -96,19 +94,6 @@ std::vector<double> exponential_buckets(double start, double factor,
   return bounds;
 }
 
-// Instruments are held by unique_ptr inside node-based maps, so the
-// references handed to call sites never move; std::less<> enables
-// string_view lookups without a temporary std::string.
-struct Registry::Impl {
-  mutable std::mutex mutex;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms;
-};
-
-Registry::Registry() : impl_(std::make_unique<Impl>()) {}
-Registry::~Registry() = default;
-
 Registry& Registry::instance() {
   // Leaked on purpose: instrumented code (thread pool teardown, static
   // destructors) may record after main() returns.
@@ -117,32 +102,30 @@ Registry& Registry::instance() {
 }
 
 Counter& Registry::counter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->counters.find(name);
-  if (it == impl_->counters.end()) {
-    it = impl_->counters
-             .emplace(std::string(name), std::make_unique<Counter>())
+  util::LockGuard lock(mutex_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
              .first;
   }
   return *it->second;
 }
 
 Gauge& Registry::gauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->gauges.find(name);
-  if (it == impl_->gauges.end()) {
-    it = impl_->gauges.emplace(std::string(name), std::make_unique<Gauge>())
-             .first;
+  util::LockGuard lock(mutex_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
   }
   return *it->second;
 }
 
 Histogram& Registry::histogram(std::string_view name,
                                std::vector<double> bounds) {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  auto it = impl_->histograms.find(name);
-  if (it == impl_->histograms.end()) {
-    it = impl_->histograms
+  util::LockGuard lock(mutex_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
              .emplace(std::string(name),
                       std::make_unique<Histogram>(std::move(bounds)))
              .first;
@@ -151,10 +134,10 @@ Histogram& Registry::histogram(std::string_view name,
 }
 
 std::string Registry::snapshot_json() const {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
+  util::LockGuard lock(mutex_);
   std::string out = "{\"counters\":{";
   bool first = true;
-  for (const auto& [name, c] : impl_->counters) {
+  for (const auto& [name, c] : counters_) {
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -163,7 +146,7 @@ std::string Registry::snapshot_json() const {
   }
   out += "},\"gauges\":{";
   first = true;
-  for (const auto& [name, g] : impl_->gauges) {
+  for (const auto& [name, g] : gauges_) {
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -172,7 +155,7 @@ std::string Registry::snapshot_json() const {
   }
   out += "},\"histograms\":{";
   first = true;
-  for (const auto& [name, h] : impl_->histograms) {
+  for (const auto& [name, h] : histograms_) {
     if (!first) out += ',';
     first = false;
     append_json_string(out, name);
@@ -206,10 +189,10 @@ std::string Registry::snapshot_json() const {
 }
 
 void Registry::reset() {
-  std::lock_guard<std::mutex> lock(impl_->mutex);
-  for (auto& [name, c] : impl_->counters) c->reset();
-  for (auto& [name, g] : impl_->gauges) g->reset();
-  for (auto& [name, h] : impl_->histograms) h->reset();
+  util::LockGuard lock(mutex_);
+  for (auto& [name, c] : counters_) c->reset();
+  for (auto& [name, g] : gauges_) g->reset();
+  for (auto& [name, h] : histograms_) h->reset();
 }
 
 Counter& counter(std::string_view name) {

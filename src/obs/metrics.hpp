@@ -18,15 +18,21 @@
 //
 // This library is self-contained (std + threads only): np_util links
 // against it so the thread pool and logger can be instrumented, which
-// forbids any obs -> util dependency.
+// forbids any obs -> np_util *link* dependency. The one sanctioned
+// exception is util/mutex.hpp, which is header-only and std-only: obs
+// uses the annotated util::Mutex so the registry participates in the
+// clang thread-safety analysis without adding a link edge.
 #pragma once
 
 #include <atomic>
 #include <cstddef>
+#include <map>
 #include <memory>
 #include <string>
 #include <string_view>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace np::obs {
 
@@ -99,30 +105,42 @@ std::vector<double> exponential_buckets(double start, double factor, int count);
 /// the mutex; instruments are never destroyed or moved afterwards.
 class Registry {
  public:
-  Registry();
-  ~Registry();
+  Registry() = default;
   Registry(const Registry&) = delete;
   Registry& operator=(const Registry&) = delete;
 
   static Registry& instance();
 
-  Counter& counter(std::string_view name);
-  Gauge& gauge(std::string_view name);
+  Counter& counter(std::string_view name) NP_EXCLUDES(mutex_);
+  Gauge& gauge(std::string_view name) NP_EXCLUDES(mutex_);
   /// Bounds are fixed by the first registration; later calls with the
   /// same name return the existing histogram regardless of `bounds`.
-  Histogram& histogram(std::string_view name, std::vector<double> bounds);
+  Histogram& histogram(std::string_view name, std::vector<double> bounds)
+      NP_EXCLUDES(mutex_);
 
   /// One JSON object {"counters":{...},"gauges":{...},"histograms":{...}}
   /// with names in sorted order (stable across runs for golden tests).
-  std::string snapshot_json() const;
+  /// NP_EXCLUDES: snapshots take the registration lock, so they must
+  /// never be nested inside a registration path (instrument updates
+  /// themselves stay lock-free and are unaffected).
+  std::string snapshot_json() const NP_EXCLUDES(mutex_);
 
   /// Zero every instrument (registrations are kept, references stay
   /// valid). For tests and between bench configurations.
-  void reset();
+  void reset() NP_EXCLUDES(mutex_);
 
  private:
-  struct Impl;
-  std::unique_ptr<Impl> impl_;
+  // Instruments are held by unique_ptr inside node-based maps, so the
+  // references handed to call sites never move; std::less<> enables
+  // string_view lookups without a temporary std::string. The mutex
+  // guards registration and snapshot only — never instrument updates.
+  mutable util::Mutex mutex_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      NP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      NP_GUARDED_BY(mutex_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      NP_GUARDED_BY(mutex_);
 };
 
 /// Process-wide instrument lookup — the hot-path entry points.

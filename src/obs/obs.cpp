@@ -2,7 +2,8 @@
 
 #include <cstdio>
 #include <cstdlib>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace np::obs {
 
@@ -11,11 +12,12 @@ namespace {
 // One mutex guards all sink state: configuration happens a handful of
 // times per process and emit_metrics_record() once per training epoch,
 // so contention is irrelevant; the registry hot path never comes here.
-std::mutex g_sink_mutex;
-std::string g_trace_path;        // empty = no trace output
-std::FILE* g_metrics_out = nullptr;
+util::Mutex g_sink_mutex;
+std::string g_trace_path NP_GUARDED_BY(g_sink_mutex);  // empty = no trace
+std::FILE* g_metrics_out NP_GUARDED_BY(g_sink_mutex) = nullptr;
 
-void write_metrics_record_locked(const char* record, long index) {
+void write_metrics_record_locked(const char* record, long index)
+    NP_REQUIRES(g_sink_mutex) {
   if (g_metrics_out == nullptr) return;
   const std::string snapshot = Registry::instance().snapshot_json();
   std::fprintf(g_metrics_out,
@@ -37,13 +39,13 @@ void configure_from_env() {
 }
 
 void set_trace_out(std::string path) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::LockGuard lock(g_sink_mutex);
   g_trace_path = std::move(path);
   set_tracing_enabled(!g_trace_path.empty());
 }
 
 void set_metrics_out(const std::string& path) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::LockGuard lock(g_sink_mutex);
   if (g_metrics_out != nullptr) {
     std::fclose(g_metrics_out);
     g_metrics_out = nullptr;
@@ -62,17 +64,17 @@ void set_metrics_out(const std::string& path) {
 }
 
 bool metrics_out_open() {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::LockGuard lock(g_sink_mutex);
   return g_metrics_out != nullptr;
 }
 
 void emit_metrics_record(const char* record, long index) {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::LockGuard lock(g_sink_mutex);
   write_metrics_record_locked(record, index);
 }
 
 void shutdown() {
-  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  util::LockGuard lock(g_sink_mutex);
   if (!g_trace_path.empty()) {
     std::FILE* out = std::fopen(g_trace_path.c_str(), "w");
     if (out == nullptr) {

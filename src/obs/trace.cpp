@@ -4,8 +4,9 @@
 #include <chrono>
 #include <cstring>
 #include <memory>
-#include <mutex>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace np::obs {
 
@@ -32,9 +33,9 @@ struct ThreadBuffer {
   explicit ThreadBuffer(int tid) : tid(tid) {}
   // The owning thread appends under this (uncontended) mutex; the
   // exporter takes it only while copying the events out.
-  std::mutex mutex;
-  std::vector<TraceEvent> events;
-  std::size_t dropped = 0;
+  util::Mutex mutex;
+  std::vector<TraceEvent> events NP_GUARDED_BY(mutex);
+  std::size_t dropped NP_GUARDED_BY(mutex) = 0;
   int tid;
 };
 
@@ -52,22 +53,28 @@ class TraceCollector {
     return *g;
   }
 
-  std::shared_ptr<detail::ThreadBuffer> register_thread() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  std::shared_ptr<detail::ThreadBuffer> register_thread()
+      NP_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     auto buffer = std::make_shared<detail::ThreadBuffer>(next_tid_++);
     buffers_.push_back(buffer);
     return buffer;
   }
 
-  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  /// Snapshot of the registered buffers. NP_EXCLUDES: the exporter
+  /// (flush path) calls this before taking any per-buffer lock, so the
+  /// collector lock and the hot-path buffer locks are never nested.
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers()
+      NP_EXCLUDES(mutex_) {
+    util::LockGuard lock(mutex_);
     return buffers_;
   }
 
  private:
-  std::mutex mutex_;
-  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers_;
-  int next_tid_ = 1;  // tid 1 = first thread to trace (normally main)
+  util::Mutex mutex_;
+  std::vector<std::shared_ptr<detail::ThreadBuffer>> buffers_
+      NP_GUARDED_BY(mutex_);
+  int next_tid_ NP_GUARDED_BY(mutex_) = 1;  // tid 1 = first traced thread
 };
 
 /// "simplex.solve" -> "simplex"; names without a dot are their own
@@ -106,7 +113,7 @@ ThreadBuffer& thread_buffer() {
 
 void record_span(ThreadBuffer& buffer, const char* name, double start_us,
                  double end_us) {
-  std::lock_guard<std::mutex> lock(buffer.mutex);
+  util::LockGuard lock(buffer.mutex);
   if (buffer.events.size() >= kMaxEventsPerThread) {
     ++buffer.dropped;
     return;
@@ -126,7 +133,7 @@ void record_aggregate_span(const char* name, double duration_us) {
 std::size_t trace_event_count() {
   std::size_t total = 0;
   for (const auto& buffer : TraceCollector::instance().buffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::LockGuard lock(buffer->mutex);
     total += buffer->events.size();
   }
   return total;
@@ -135,7 +142,7 @@ std::size_t trace_event_count() {
 std::size_t trace_dropped_count() {
   std::size_t total = 0;
   for (const auto& buffer : TraceCollector::instance().buffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::LockGuard lock(buffer->mutex);
     total += buffer->dropped;
   }
   return total;
@@ -143,7 +150,7 @@ std::size_t trace_dropped_count() {
 
 void clear_trace() {
   for (const auto& buffer : TraceCollector::instance().buffers()) {
-    std::lock_guard<std::mutex> lock(buffer->mutex);
+    util::LockGuard lock(buffer->mutex);
     buffer->events.clear();
     buffer->dropped = 0;
   }
@@ -158,7 +165,7 @@ std::size_t write_chrome_trace(std::FILE* out) {
     std::vector<TraceEvent> events;
     int tid = 0;
     {
-      std::lock_guard<std::mutex> lock(buffer->mutex);
+      util::LockGuard lock(buffer->mutex);
       events = buffer->events;
       tid = buffer->tid;
     }

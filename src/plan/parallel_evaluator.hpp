@@ -8,6 +8,14 @@
 // no solver state is shared. Verdicts are deterministic — the reported
 // violated scenario is the smallest-indexed one — only wall-clock
 // changes with the thread count.
+//
+// Concurrency model: deliberately lock-free. Workers write into
+// per-thread result slots sized before the fan-out and coordinate
+// solely through one atomic cancel flag; the pool's join is the only
+// synchronization point. There is no mutex here to annotate — if a
+// change ever needs shared mutable state, guard it with util::Mutex +
+// NP_GUARDED_BY rather than weakening this design silently (np_lint
+// rejects raw std primitives outside util/).
 #pragma once
 
 #include <memory>

@@ -12,6 +12,10 @@
 // versioned header, FNV-1a checksum — a crash mid-save leaves the
 // previous checkpoint intact, and any torn or tampered file fails the
 // loader with a clean std::runtime_error.
+//
+// Concurrency model: save/load run on the trainer thread between
+// epochs, when no rollout worker or evaluator task is in flight, so
+// this file is single-threaded by contract and holds no locks.
 #include <algorithm>
 #include <array>
 #include <bit>

@@ -14,6 +14,13 @@
 // forward passes in bounded-size chunks so tape memory stays O(chunk)
 // instead of O(epoch) — gradients of a sum accumulate across chunk
 // backward passes before each Adam step.
+//
+// Concurrency model: the trainer is single-threaded orchestration.
+// Parallelism lives below it — rollout workers own disjoint env/RNG
+// state and the parallel evaluator owns per-thread LP caches — so the
+// trainer itself holds no locks and has nothing to NP_GUARDED_BY.
+// Checkpoint save/load (checkpoint.cpp) likewise runs only between
+// epochs, when no worker is in flight.
 #pragma once
 
 #include <memory>

@@ -2,12 +2,12 @@
 
 #include <atomic>
 #include <map>
-#include <mutex>
 #include <sstream>
 
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
+#include "util/mutex.hpp"
 #include "util/rng.hpp"
 
 namespace np::util {
@@ -30,10 +30,10 @@ struct FaultInjector::Impl {
     long triggered = 0;
   };
 
-  mutable std::mutex mutex;
-  std::map<std::string, Site> sites;
-  Rng rng{0x5eedfa175eedfa17ULL};
-  long total_triggered = 0;
+  mutable Mutex mutex;
+  std::map<std::string, Site> sites NP_GUARDED_BY(mutex);
+  Rng rng NP_GUARDED_BY(mutex){0x5eedfa175eedfa17ULL};
+  long total_triggered NP_GUARDED_BY(mutex) = 0;
   /// Fast-path gate: lets should_fire return without the mutex when
   /// nothing is armed, so compiled-in-but-idle injection stays cheap.
   std::atomic<bool> any_armed{false};
@@ -51,14 +51,14 @@ FaultInjector& FaultInjector::instance() {
 
 void FaultInjector::arm(const std::string& site, FaultSpec spec) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   i.sites[site] = Impl::Site{spec, 0, 0};
   i.any_armed.store(true, std::memory_order_release);
 }
 
 void FaultInjector::disarm_all() {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   i.sites.clear();
   i.total_triggered = 0;
   i.any_armed.store(false, std::memory_order_release);
@@ -66,7 +66,7 @@ void FaultInjector::disarm_all() {
 
 void FaultInjector::reseed(std::uint64_t seed) {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   i.rng.reseed(seed);
 }
 
@@ -115,7 +115,7 @@ void FaultInjector::configure_from_env() {
 bool FaultInjector::should_fire(const std::string& site) {
   Impl& i = impl();
   if (!i.any_armed.load(std::memory_order_acquire)) return false;
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   const auto it = i.sites.find(site);
   if (it == i.sites.end()) return false;
   Impl::Site& s = it->second;
@@ -143,21 +143,21 @@ void FaultInjector::on_site(const std::string& site) {
 
 long FaultInjector::triggered(const std::string& site) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   const auto it = i.sites.find(site);
   return it == i.sites.end() ? 0 : it->second.triggered;
 }
 
 long FaultInjector::calls(const std::string& site) const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   const auto it = i.sites.find(site);
   return it == i.sites.end() ? 0 : it->second.calls;
 }
 
 long FaultInjector::total_triggered() const {
   Impl& i = impl();
-  std::lock_guard<std::mutex> lock(i.mutex);
+  LockGuard lock(i.mutex);
   return i.total_triggered;
 }
 

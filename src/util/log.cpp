@@ -2,7 +2,8 @@
 
 #include <atomic>
 #include <cstdio>
-#include <mutex>
+
+#include "util/mutex.hpp"
 
 namespace np {
 
@@ -14,7 +15,9 @@ std::atomic<LogLevel> g_level{LogLevel::kWarn};
 // Serializes whole lines: worker threads (RolloutWorkers,
 // ParallelPlanEvaluator) log concurrently, and a single fprintf is not
 // guaranteed atomic with respect to other writers of the same stream.
-std::mutex g_write_mutex;
+// (No NP_GUARDED_BY: the guarded resource is the stderr stream, not a
+// member the analysis can name.)
+util::Mutex g_write_mutex;
 
 const char* tag(LogLevel level) {
   switch (level) {
@@ -35,7 +38,7 @@ LogLevel log_level() { return g_level.load(std::memory_order_relaxed); }
 
 void log_line(LogLevel level, std::string_view message) {
   if (level < log_level()) return;
-  std::lock_guard<std::mutex> lock(g_write_mutex);
+  util::LockGuard lock(g_write_mutex);
   std::fprintf(stderr, "[np %s] %.*s\n", tag(level),
                static_cast<int>(message.size()), message.data());
   std::fflush(stderr);

@@ -1,0 +1,130 @@
+// Annotated synchronization primitives for Clang's compile-time
+// thread-safety analysis (-Wthread-safety).
+//
+// util::Mutex / util::LockGuard / util::CondVar wrap the std
+// primitives and carry capability attributes, so the `thread-safety`
+// CMake preset (clang, -Werror=thread-safety-analysis) proves at
+// compile time that every access to NP_GUARDED_BY state happens under
+// its lock and that NP_EXCLUDES contracts hold — the static complement
+// to the TSan preset, which only sees races the tests execute. Under
+// GCC (or any non-clang compiler) every attribute expands to nothing
+// and the wrappers cost exactly a std::mutex / std::lock_guard /
+// std::condition_variable.
+//
+// Usage pattern (see util/thread_pool.hpp for the canonical example):
+//
+//   util::Mutex mutex_;
+//   std::queue<Task> queue_ NP_GUARDED_BY(mutex_);
+//   void submit(Task t) NP_EXCLUDES(mutex_) {
+//     util::LockGuard lock(mutex_);
+//     queue_.push(std::move(t));
+//   }
+//
+// Layering note: this header is deliberately header-only and std-only
+// so np_obs (which np_util links — obs must never link np_util) can
+// use the annotated primitives too. Including it adds no link edge.
+//
+// np_lint enforces the migration: any raw std::mutex / std::lock_guard
+// / std::condition_variable outside src/util/ is a lint error
+// (rule raw-mutex), so new concurrent code cannot silently opt out of
+// the analysis.
+#pragma once
+
+#include <condition_variable>
+#include <mutex>
+
+// Attribute spellings from the Clang thread-safety-analysis docs.
+// Gated on __clang__: GCC would warn (-Wattributes) on the unknown
+// attribute names.
+#if defined(__clang__)
+#define NP_THREAD_ANNOTATION(x) __attribute__((x))
+#else
+#define NP_THREAD_ANNOTATION(x)  // no-op outside clang
+#endif
+
+#define NP_CAPABILITY(x) NP_THREAD_ANNOTATION(capability(x))
+#define NP_SCOPED_CAPABILITY NP_THREAD_ANNOTATION(scoped_lockable)
+#define NP_GUARDED_BY(x) NP_THREAD_ANNOTATION(guarded_by(x))
+#define NP_PT_GUARDED_BY(x) NP_THREAD_ANNOTATION(pt_guarded_by(x))
+#define NP_REQUIRES(...) \
+  NP_THREAD_ANNOTATION(requires_capability(__VA_ARGS__))
+#define NP_ACQUIRE(...) \
+  NP_THREAD_ANNOTATION(acquire_capability(__VA_ARGS__))
+#define NP_RELEASE(...) \
+  NP_THREAD_ANNOTATION(release_capability(__VA_ARGS__))
+#define NP_TRY_ACQUIRE(...) \
+  NP_THREAD_ANNOTATION(try_acquire_capability(__VA_ARGS__))
+#define NP_EXCLUDES(...) NP_THREAD_ANNOTATION(locks_excluded(__VA_ARGS__))
+#define NP_ASSERT_CAPABILITY(x) \
+  NP_THREAD_ANNOTATION(assert_capability(x))
+#define NP_RETURN_CAPABILITY(x) NP_THREAD_ANNOTATION(lock_returned(x))
+#define NP_NO_THREAD_SAFETY_ANALYSIS \
+  NP_THREAD_ANNOTATION(no_thread_safety_analysis)
+
+namespace np::util {
+
+/// std::mutex carrying the `capability` attribute so the analysis can
+/// track it. Prefer LockGuard over manual lock()/unlock() pairs.
+class NP_CAPABILITY("mutex") Mutex {
+ public:
+  Mutex() = default;
+  Mutex(const Mutex&) = delete;
+  Mutex& operator=(const Mutex&) = delete;
+
+  void lock() NP_ACQUIRE() { mutex_.lock(); }
+  void unlock() NP_RELEASE() { mutex_.unlock(); }
+  bool try_lock() NP_TRY_ACQUIRE(true) { return mutex_.try_lock(); }
+
+  /// The wrapped std::mutex, for interop with std wait machinery.
+  /// Only CondVar (below) should need this.
+  std::mutex& native_handle() { return mutex_; }
+
+ private:
+  std::mutex mutex_;
+};
+
+/// Scoped lock over util::Mutex — std::lock_guard with the
+/// `scoped_lockable` attribute, so the analysis knows the capability
+/// is held for exactly this scope.
+class NP_SCOPED_CAPABILITY LockGuard {
+ public:
+  explicit LockGuard(Mutex& mutex) NP_ACQUIRE(mutex) : mutex_(mutex) {
+    mutex_.lock();
+  }
+  ~LockGuard() NP_RELEASE() { mutex_.unlock(); }
+  LockGuard(const LockGuard&) = delete;
+  LockGuard& operator=(const LockGuard&) = delete;
+
+ private:
+  Mutex& mutex_;
+};
+
+/// Condition variable for util::Mutex, absl::CondVar-style: wait()
+/// REQUIRES the mutex, releases it atomically while blocked and
+/// reacquires before returning. Callers keep the usual
+/// `while (!ready) cv.wait(mutex)` loop, which the analysis can check
+/// (a predicate-lambda overload would hide the guarded reads from it).
+class CondVar {
+ public:
+  CondVar() = default;
+  CondVar(const CondVar&) = delete;
+  CondVar& operator=(const CondVar&) = delete;
+
+  /// Block until notified (or spuriously woken — callers loop on their
+  /// predicate). The mutex must be held; it is held again on return.
+  void wait(Mutex& mutex) NP_REQUIRES(mutex) {
+    // Adopt the already-held mutex for the wait, then release ownership
+    // back to the caller's LockGuard so it is not unlocked twice.
+    std::unique_lock<std::mutex> lock(mutex.native_handle(), std::adopt_lock);
+    cv_.wait(lock);
+    lock.release();
+  }
+
+  void notify_one() noexcept { cv_.notify_one(); }
+  void notify_all() noexcept { cv_.notify_all(); }
+
+ private:
+  std::condition_variable cv_;
+};
+
+}  // namespace np::util

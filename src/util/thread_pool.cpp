@@ -43,7 +43,7 @@ ThreadPool::ThreadPool(int workers) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     stopping_ = true;
   }
   ready_.notify_all();
@@ -54,8 +54,8 @@ void ThreadPool::worker_loop() {
   for (;;) {
     QueuedTask item;
     {
-      std::unique_lock<std::mutex> lock(mutex_);
-      ready_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      LockGuard lock(mutex_);
+      while (!stopping_ && queue_.empty()) ready_.wait(mutex_);
       if (queue_.empty()) return;  // stopping_ with a drained queue
       item = std::move(queue_.front());
       queue_.pop();
@@ -75,7 +75,7 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
     return result;
   }
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    LockGuard lock(mutex_);
     if (stopping_) throw std::logic_error("ThreadPool::submit: pool is stopping");
     queue_.push(QueuedTask{std::move(wrapped), obs::now_us()});
   }

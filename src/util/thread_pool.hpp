@@ -9,13 +9,13 @@
 // costs nothing (no threads, no locks on the hot path).
 #pragma once
 
-#include <condition_variable>
 #include <functional>
 #include <future>
-#include <mutex>
 #include <queue>
 #include <thread>
 #include <vector>
+
+#include "util/mutex.hpp"
 
 namespace np::util {
 
@@ -29,7 +29,7 @@ class ThreadPool {
 
   /// Enqueue one task. With 0 workers the task runs inline before
   /// returning (the future is already ready).
-  std::future<void> submit(std::function<void()> task);
+  std::future<void> submit(std::function<void()> task) NP_EXCLUDES(mutex_);
 
   /// Run every task and wait for all of them: task 0 executes on the
   /// calling thread, the rest on the pool. Rethrows the first (lowest
@@ -50,13 +50,13 @@ class ThreadPool {
     double enqueue_us = 0.0;
   };
 
-  void worker_loop();
+  void worker_loop() NP_EXCLUDES(mutex_);
 
   std::vector<std::thread> threads_;
-  std::queue<QueuedTask> queue_;
-  std::mutex mutex_;
-  std::condition_variable ready_;
-  bool stopping_ = false;
+  Mutex mutex_;
+  std::queue<QueuedTask> queue_ NP_GUARDED_BY(mutex_);
+  CondVar ready_;
+  bool stopping_ NP_GUARDED_BY(mutex_) = false;
 };
 
 }  // namespace np::util

@@ -1,0 +1,7 @@
+// Deliberately-bad sample for the fault-site rule: one unregistered
+// site next to a registered one. NP_FAULT_POINT("commented.out") in a
+// comment must not count as a call site.
+void failure_prone() {
+  NP_FAULT_POINT("good.site");
+  NP_FAULT_POINT("rogue.site");
+}

@@ -1,0 +1,14 @@
+// Deliberately-bad sample for the include-hygiene rule: a header with
+// no #pragma once, a relative-parent include, a build-tree include and
+// an unresolvable include. "pkg/exists.hpp" and the system include are
+// fine.
+#include <vector>
+
+#include "../escape_the_tree.hpp"
+#include "build/generated_config.hpp"
+#include "pkg/exists.hpp"
+#include "pkg/missing.hpp"
+
+namespace fixture {
+inline int bad() { return 0; }
+}  // namespace fixture

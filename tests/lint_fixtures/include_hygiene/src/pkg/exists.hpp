@@ -1,0 +1,6 @@
+// Resolvable, well-formed header referenced by the bad sample.
+#pragma once
+
+namespace fixture {
+inline int answer() { return 42; }
+}  // namespace fixture

@@ -1,0 +1,15 @@
+// Deliberately-bad sample for the obs-name rule: two unregistered
+// names (a span and a counter), plus registered ones that must NOT be
+// flagged. A name in a comment is invisible: NP_SPAN("comment.span").
+void instrumented() {
+  NP_SPAN("good.span");
+  NP_SPAN("rogue.span");
+  static obs::Counter& ok = obs::counter("good.counter");
+  static obs::Counter& bad = obs::counter("rogue.counter");
+  obs::histogram(
+      "rogue.split.histogram", obs::exponential_buckets(1.0, 4.0, 12));
+  const char* in_string = "NP_SPAN is only checked as a call";
+  (void)ok;
+  (void)bad;
+  (void)in_string;
+}

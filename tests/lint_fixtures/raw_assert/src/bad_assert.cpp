@@ -1,0 +1,14 @@
+// Deliberately-bad sample for the raw-assert rule. static_assert and
+// NP_ASSERT never trip it, nor does assert( inside this comment or the
+// string below — only the include and the two real calls do.
+#include <cassert>
+
+static_assert(sizeof(int) >= 2, "static_assert is fine");
+
+void contracts(int x) {
+  NP_ASSERT(x > 0);
+  assert(x > 0);
+  assert (x < 100);
+  const char* msg = "assert(in a string) is fine";
+  (void)msg;
+}

@@ -1,0 +1,11 @@
+// Deliberately-bad sample for the raw-mutex rule: raw std primitives
+// outside util/. "std::mutex" in this comment and in the string below
+// must not be flagged — only the real declarations are.
+void racy() {
+  std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+  std::condition_variable cv;
+  std::unique_lock<std::mutex> ul(m);
+  const char* msg = "a std::mutex mention inside a string literal";
+  (void)msg;
+}

@@ -1,0 +1,6 @@
+// Under util/ the raw primitives are allowed: this is where the
+// annotated wrappers themselves live.
+void wrapper_internals() {
+  std::mutex m;
+  std::lock_guard<std::mutex> lock(m);
+}

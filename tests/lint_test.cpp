@@ -1,0 +1,169 @@
+// np_lint test suite: one golden-violation fixture per rule under
+// tests/lint_fixtures/ (the deliberately-bad sample must produce
+// exactly the diagnostics in its expected.txt), unit tests for the
+// comment/string stripper the rules depend on, and a meta-test that
+// the live src/ + tools/ tree is lint-clean — the same gate CI runs,
+// so a PR that introduces a violation fails here first.
+#include "np_lint/lint.hpp"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+// NP_LINT_REPO_ROOT is injected by tests/CMakeLists.txt.
+const fs::path kRepoRoot = NP_LINT_REPO_ROOT;
+const fs::path kFixtures = kRepoRoot / "tests" / "lint_fixtures";
+
+std::vector<std::string> run_lint(const np::lint::Options& options) {
+  std::vector<std::string> lines;
+  for (const auto& diagnostic : np::lint::run(options)) {
+    lines.push_back(diagnostic.to_string());
+  }
+  return lines;
+}
+
+std::vector<std::string> read_lines(const fs::path& file) {
+  std::ifstream in(file);
+  EXPECT_TRUE(in.is_open()) << "cannot read " << file;
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) lines.push_back(line);
+  return lines;
+}
+
+/// Golden comparison: the fixture must produce exactly expected.txt.
+void expect_fixture(const std::string& name, np::lint::Options options) {
+  const fs::path root = kFixtures / name;
+  options.scan_roots = {root / "src"};
+  EXPECT_EQ(run_lint(options), read_lines(root / "expected.txt"))
+      << "fixture " << name << " diverged from its golden file";
+}
+
+TEST(LintTest, ObsNamesFixtureMatchesGolden) {
+  np::lint::Options options;
+  options.obs_names_file = kFixtures / "obs_names" / "obs_names.txt";
+  expect_fixture("obs_names", options);
+}
+
+TEST(LintTest, FaultSitesFixtureMatchesGolden) {
+  np::lint::Options options;
+  options.fault_sites_file = kFixtures / "fault_sites" / "fault_sites.txt";
+  expect_fixture("fault_sites", options);
+}
+
+TEST(LintTest, RawMutexFixtureMatchesGolden) {
+  expect_fixture("raw_mutex", np::lint::Options{});
+}
+
+TEST(LintTest, RawAssertFixtureMatchesGolden) {
+  expect_fixture("raw_assert", np::lint::Options{});
+}
+
+TEST(LintTest, IncludeHygieneFixtureMatchesGolden) {
+  np::lint::Options options;
+  options.include_roots = {kFixtures / "include_hygiene" / "src"};
+  expect_fixture("include_hygiene", options);
+}
+
+// The gate itself: the live tree must be clean against the checked-in
+// registries. A failure here means either an unregistered name/site, a
+// raw mutex or assert outside util/, or an include-hygiene break — the
+// diagnostic in the failure message says which line to fix.
+TEST(LintTest, LiveSourceTreeIsClean) {
+  np::lint::Options options;
+  options.scan_roots = {kRepoRoot / "src", kRepoRoot / "tools"};
+  options.include_roots = {kRepoRoot / "src", kRepoRoot / "tools"};
+  options.obs_names_file = kRepoRoot / "docs" / "obs_names.txt";
+  options.fault_sites_file = kRepoRoot / "docs" / "fault_sites.txt";
+  const auto diagnostics = run_lint(options);
+  std::ostringstream all;
+  for (const auto& line : diagnostics) all << "  " << line << "\n";
+  EXPECT_TRUE(diagnostics.empty())
+      << diagnostics.size() << " lint violation(s) in the live tree:\n"
+      << all.str();
+}
+
+TEST(LintTest, UnknownScanRootIsAnErrorNotClean) {
+  np::lint::Options options;
+  options.scan_roots = {kRepoRoot / "no" / "such" / "dir"};
+  EXPECT_THROW(np::lint::run(options), std::runtime_error);
+}
+
+// ---- stripper unit tests: the precision every rule rests on ----
+
+TEST(LintStripperTest, BlanksLineAndBlockComments) {
+  const auto views = np::lint::detail::make_views(
+      "int a; // std::mutex here\nint /* std::mutex */ b;\n");
+  ASSERT_EQ(views.tokens.size(), 3u);  // trailing newline -> empty line
+  EXPECT_EQ(views.tokens[0].find("mutex"), std::string::npos);
+  EXPECT_EQ(views.tokens[1].find("mutex"), std::string::npos);
+  EXPECT_NE(views.tokens[1].find('b'), std::string::npos);
+}
+
+TEST(LintStripperTest, BlockCommentSpansLines) {
+  const auto views =
+      np::lint::detail::make_views("/* line one\nstd::mutex m;\n*/ int x;\n");
+  EXPECT_EQ(views.tokens[1].find("mutex"), std::string::npos);
+  EXPECT_NE(views.tokens[2].find('x'), std::string::npos);
+}
+
+TEST(LintStripperTest, KeepsStringsInCodeViewBlanksThemInTokens) {
+  const auto views =
+      np::lint::detail::make_views("const char* s = \"std::mutex\";\n");
+  EXPECT_NE(views.code[0].find("std::mutex"), std::string::npos);
+  EXPECT_EQ(views.tokens[0].find("std::mutex"), std::string::npos);
+  // Quotes survive in both views so include parsing stays balanced.
+  EXPECT_NE(views.tokens[0].find('"'), std::string::npos);
+}
+
+TEST(LintStripperTest, HandlesEscapedQuotesAndCharLiterals) {
+  const auto views = np::lint::detail::make_views(
+      "const char* s = \"a\\\"b\"; char c = '\"'; int assert_me;\n");
+  // The escaped quote must not terminate the string early and leak
+  // the rest of the line into a "string" state.
+  EXPECT_NE(views.tokens[0].find("assert_me"), std::string::npos);
+}
+
+TEST(LintStripperTest, HandlesRawStrings) {
+  const auto views = np::lint::detail::make_views(
+      "auto s = R\"(std::mutex \" unbalanced)\"; int tail;\n");
+  EXPECT_EQ(views.tokens[0].find("std::mutex"), std::string::npos);
+  EXPECT_NE(views.tokens[0].find("tail"), std::string::npos);
+  EXPECT_NE(views.code[0].find("std::mutex"), std::string::npos);
+}
+
+TEST(LintStripperTest, PreservesLineStructure) {
+  const std::string text = "a\nbb\nccc\n";
+  const auto views = np::lint::detail::make_views(text);
+  ASSERT_EQ(views.code.size(), 4u);
+  EXPECT_EQ(views.code[0], "a");
+  EXPECT_EQ(views.code[1], "bb");
+  EXPECT_EQ(views.code[2], "ccc");
+  EXPECT_EQ(views.code[3], "");
+}
+
+TEST(LintRegistryTest, ParsesNamesCommentsAndBlanks) {
+  const fs::path file = fs::temp_directory_path() / "np_lint_registry.txt";
+  {
+    std::ofstream out(file);
+    out << "# header comment\n\nalpha.one\nbeta.two   # trailing\n"
+        << "   gamma.three\n";
+  }
+  const auto names = np::lint::detail::read_registry(file);
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0].first, "alpha.one");
+  EXPECT_EQ(names[0].second, 3);
+  EXPECT_EQ(names[1].first, "beta.two");
+  EXPECT_EQ(names[2].first, "gamma.three");
+  fs::remove(file);
+}
+
+}  // namespace

@@ -14,6 +14,7 @@
 #include "util/env.hpp"
 #include "util/log.hpp"
 #include "util/rng.hpp"
+#include "util/mutex.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 #include "util/thread_pool.hpp"
@@ -319,6 +320,103 @@ TEST(Deadline, ExpiresAfterElapsedWallClock) {
   while (std::chrono::steady_clock::now() < until) {}
   EXPECT_TRUE(d.expired());
   EXPECT_EQ(d.remaining_seconds(), 0.0);
+}
+
+// The annotated wrappers behind every lock in the codebase. These run
+// under tsan (the suite name is in the tsan test-preset filter), so a
+// wrapper bug that loses mutual exclusion shows up as a data race.
+
+TEST(ThreadSafety, MutexProvidesMutualExclusion) {
+  util::Mutex mutex;
+  long counter = 0;
+  std::vector<std::thread> threads;
+  threads.reserve(4);
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < 10000; ++i) {
+        util::LockGuard lock(mutex);
+        ++counter;
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(counter, 4 * 10000);
+}
+
+TEST(ThreadSafety, TryLockFailsWhileHeldAndSucceedsAfterRelease) {
+  util::Mutex mutex;
+  mutex.lock();
+  std::atomic<bool> acquired{true};
+  std::thread contender([&] { acquired = mutex.try_lock(); });
+  contender.join();
+  EXPECT_FALSE(acquired.load());
+  mutex.unlock();
+  ASSERT_TRUE(mutex.try_lock());
+  mutex.unlock();
+}
+
+TEST(ThreadSafety, CondVarWakesWaiterOnNotify) {
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool ready = false;
+  bool observed = false;
+  std::thread waiter([&] {
+    util::LockGuard lock(mutex);
+    while (!ready) cv.wait(mutex);
+    observed = true;
+  });
+  {
+    util::LockGuard lock(mutex);
+    ready = true;
+  }
+  cv.notify_one();
+  waiter.join();
+  EXPECT_TRUE(observed);
+}
+
+TEST(ThreadSafety, CondVarNotifyAllReleasesEveryWaiter) {
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool go = false;
+  std::atomic<int> woken{0};
+  std::vector<std::thread> waiters;
+  waiters.reserve(3);
+  for (int t = 0; t < 3; ++t) {
+    waiters.emplace_back([&] {
+      util::LockGuard lock(mutex);
+      while (!go) cv.wait(mutex);
+      woken.fetch_add(1);
+    });
+  }
+  {
+    util::LockGuard lock(mutex);
+    go = true;
+  }
+  cv.notify_all();
+  for (auto& waiter : waiters) waiter.join();
+  EXPECT_EQ(woken.load(), 3);
+}
+
+TEST(ThreadSafety, WaitReacquiresMutexBeforeReturning) {
+  // After wait() returns the waiter must hold the mutex again: the
+  // producer below increments under the lock, so the value read right
+  // after wait() can never be torn or mid-update.
+  util::Mutex mutex;
+  util::CondVar cv;
+  int stage = 0;
+  std::thread producer([&] {
+    for (int i = 1; i <= 3; ++i) {
+      util::LockGuard lock(mutex);
+      stage = i;
+      cv.notify_one();
+    }
+  });
+  {
+    util::LockGuard lock(mutex);
+    while (stage < 3) cv.wait(mutex);
+    EXPECT_EQ(stage, 3);
+  }
+  producer.join();
 }
 
 }  // namespace

@@ -1,0 +1,472 @@
+#include "np_lint/lint.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <set>
+#include <sstream>
+#include <stdexcept>
+
+namespace np::lint {
+
+namespace fs = std::filesystem;
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  os << file << ':' << line << ": " << rule << ": " << message;
+  return os.str();
+}
+
+namespace detail {
+
+FileViews make_views(const std::string& text) {
+  enum class State {
+    kNormal,
+    kLineComment,
+    kBlockComment,
+    kString,
+    kChar,
+    kRawString,
+  };
+  FileViews views;
+  std::string code_line;
+  std::string token_line;
+  State state = State::kNormal;
+  std::string raw_delim;  // for R"delim( ... )delim"
+  const std::size_t n = text.size();
+  auto flush_line = [&] {
+    views.code.push_back(code_line);
+    views.tokens.push_back(token_line);
+    code_line.clear();
+    token_line.clear();
+  };
+  for (std::size_t i = 0; i < n; ++i) {
+    const char c = text[i];
+    const char next = i + 1 < n ? text[i + 1] : '\0';
+    if (c == '\n') {
+      if (state == State::kLineComment) state = State::kNormal;
+      flush_line();
+      continue;
+    }
+    switch (state) {
+      case State::kNormal:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          code_line += "  ";
+          token_line += "  ";
+          ++i;
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          code_line += "  ";
+          token_line += "  ";
+          ++i;
+        } else if (c == 'R' && next == '"' &&
+                   (code_line.empty() ||
+                    (!std::isalnum(static_cast<unsigned char>(code_line.back())) &&
+                     code_line.back() != '_'))) {
+          // Raw string literal: read the delimiter up to '('.
+          raw_delim.clear();
+          std::size_t j = i + 2;
+          while (j < n && text[j] != '(' && text[j] != '\n') {
+            raw_delim += text[j];
+            ++j;
+          }
+          state = State::kRawString;
+          code_line += c;
+          token_line += c;
+        } else if (c == '"') {
+          state = State::kString;
+          code_line += c;
+          token_line += c;
+        } else if (c == '\'') {
+          state = State::kChar;
+          code_line += c;
+          token_line += c;
+        } else {
+          code_line += c;
+          token_line += c;
+        }
+        break;
+      case State::kLineComment:
+        code_line += ' ';
+        token_line += ' ';
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          state = State::kNormal;
+          code_line += "  ";
+          token_line += "  ";
+          ++i;
+        } else {
+          code_line += ' ';
+          token_line += ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code_line += c;
+          code_line += next;
+          token_line += "  ";
+          ++i;
+        } else if (c == '"') {
+          state = State::kNormal;
+          code_line += c;
+          token_line += c;
+        } else {
+          code_line += c;
+          token_line += ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0' && next != '\n') {
+          code_line += c;
+          code_line += next;
+          token_line += "  ";
+          ++i;
+        } else if (c == '\'') {
+          state = State::kNormal;
+          code_line += c;
+          token_line += c;
+        } else {
+          code_line += c;
+          token_line += ' ';
+        }
+        break;
+      case State::kRawString: {
+        // End marker is )delim" — scan for it from here.
+        const std::string end = ")" + raw_delim + "\"";
+        if (text.compare(i, end.size(), end) == 0) {
+          state = State::kNormal;
+          for (char e : end) {
+            code_line += e;
+            token_line += e;
+          }
+          i += end.size() - 1;
+        } else {
+          code_line += c;
+          token_line += ' ';  // raw-string contents are not tokens
+        }
+        break;
+      }
+    }
+  }
+  flush_line();  // final (possibly empty) line
+  return views;
+}
+
+std::vector<std::pair<std::string, int>> read_registry(const fs::path& file) {
+  std::ifstream in(file);
+  if (!in) {
+    throw std::runtime_error("np_lint: cannot read registry file " +
+                             file.string());
+  }
+  std::vector<std::pair<std::string, int>> names;
+  std::string line;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    const std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    // Trim whitespace.
+    const auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && is_space(line[start])) ++start;
+    if (start > 0) line.erase(0, start);
+    if (!line.empty()) names.emplace_back(line, line_no);
+  }
+  return names;
+}
+
+}  // namespace detail
+
+namespace {
+
+struct SourceFile {
+  std::string display;   // <root-basename>/<relative-path>
+  std::string relative;  // path relative to its scan root (generic form)
+  bool is_header = false;
+  detail::FileViews views;
+};
+
+std::string read_file(const fs::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    throw std::runtime_error("np_lint: cannot read " + path.string());
+  }
+  std::ostringstream os;
+  os << in.rdbuf();
+  return os.str();
+}
+
+bool is_source_extension(const fs::path& path) {
+  const std::string ext = path.extension().string();
+  return ext == ".hpp" || ext == ".cpp" || ext == ".h" || ext == ".cc";
+}
+
+std::vector<SourceFile> collect_files(const Options& options) {
+  std::vector<SourceFile> files;
+  for (const fs::path& root : options.scan_roots) {
+    if (!fs::is_directory(root)) {
+      throw std::runtime_error("np_lint: scan root is not a directory: " +
+                               root.string());
+    }
+    const std::string base = root.filename().string();
+    std::vector<fs::path> paths;
+    for (const auto& entry : fs::recursive_directory_iterator(root)) {
+      if (entry.is_regular_file() && is_source_extension(entry.path())) {
+        paths.push_back(entry.path());
+      }
+    }
+    std::sort(paths.begin(), paths.end());
+    for (const fs::path& path : paths) {
+      SourceFile file;
+      file.relative = path.lexically_relative(root).generic_string();
+      file.display = base + "/" + file.relative;
+      const std::string ext = path.extension().string();
+      file.is_header = ext == ".hpp" || ext == ".h";
+      file.views = detail::make_views(read_file(path));
+      files.push_back(std::move(file));
+    }
+  }
+  return files;
+}
+
+bool is_word_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// All positions where `token` occurs as a whole word in `line`.
+std::vector<std::size_t> find_word(const std::string& line,
+                                   const std::string& token) {
+  std::vector<std::size_t> hits;
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    const bool left_ok = pos == 0 || !is_word_char(line[pos - 1]);
+    const std::size_t end = pos + token.size();
+    const bool right_ok = end >= line.size() || !is_word_char(line[end]);
+    if (left_ok && right_ok) hits.push_back(pos);
+    pos = end;
+  }
+  return hits;
+}
+
+struct NameUse {
+  std::string name;
+  std::string file;
+  int line;
+};
+
+/// Extract the literal first-argument names of `call(...)` style macros
+/// and functions: call sites look like `<call> ( "name"`, possibly with
+/// the name on the following line, so the search runs over the joined
+/// code view (\s in the pattern crosses newlines). Non-literal first
+/// arguments (variables, parameters) are out of lexical reach and
+/// skipped — the registries cover the literal names the dashboards use.
+void extract_names(const SourceFile& file, const std::regex& call_re,
+                   std::vector<NameUse>& out) {
+  std::string joined;
+  for (const std::string& line : file.views.code) {
+    joined += line;
+    joined += '\n';
+  }
+  auto begin = std::sregex_iterator(joined.begin(), joined.end(), call_re);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const auto offset = static_cast<std::size_t>(it->position(0));
+    const int line = 1 + static_cast<int>(std::count(
+                             joined.begin(), joined.begin() + offset, '\n'));
+    out.push_back(NameUse{(*it)[2].str(), file.display, line});
+  }
+}
+
+const char* wrapper_for(const std::string& token) {
+  if (token == "std::lock_guard" || token == "std::unique_lock" ||
+      token == "std::scoped_lock" || token == "std::shared_lock") {
+    return "util::LockGuard";
+  }
+  if (token == "std::condition_variable" ||
+      token == "std::condition_variable_any") {
+    return "util::CondVar";
+  }
+  return "util::Mutex";
+}
+
+}  // namespace
+
+std::vector<Diagnostic> run(const Options& options) {
+  std::vector<Diagnostic> diagnostics;
+  const std::vector<SourceFile> files = collect_files(options);
+
+  // ---- obs-name + fault-site: literal names vs checked-in registries.
+  struct NameRule {
+    const char* rule;
+    fs::path registry_file;
+    std::regex call_re;
+    std::vector<NameUse> uses;
+    const char* unknown_hint;
+    const char* stale_hint;
+  };
+  std::vector<NameRule> name_rules;
+  if (!options.obs_names_file.empty()) {
+    name_rules.push_back(NameRule{
+        "obs-name", options.obs_names_file,
+        std::regex("\\b(NP_SPAN|record_aggregate_span|obs::counter|"
+                   "obs::gauge|obs::histogram)\\s*\\(\\s*\"([^\"]*)\""),
+        {},
+        "register it or fix the call site so dashboards never dangle",
+        "remove it or instrument the code"});
+  }
+  if (!options.fault_sites_file.empty()) {
+    name_rules.push_back(NameRule{
+        "fault-site", options.fault_sites_file,
+        std::regex("\\b(NP_FAULT_POINT)\\s*\\(\\s*\"([^\"]*)\""),
+        {},
+        "register it so NEUROPLAN_FAULT_SITES chaos configs stay valid",
+        "remove it or add the NP_FAULT_POINT call site back"});
+  }
+  for (NameRule& rule : name_rules) {
+    for (const SourceFile& file : files) {
+      extract_names(file, rule.call_re, rule.uses);
+    }
+    const auto registered = detail::read_registry(rule.registry_file);
+    std::set<std::string> known;
+    for (const auto& [name, line] : registered) known.insert(name);
+    std::set<std::string> used;
+    for (const NameUse& use : rule.uses) {
+      used.insert(use.name);
+      if (known.count(use.name) == 0) {
+        diagnostics.push_back(
+            Diagnostic{use.file, use.line, rule.rule,
+                       "name \"" + use.name + "\" is not in " +
+                           rule.registry_file.filename().string() + " — " +
+                           rule.unknown_hint});
+      }
+    }
+    for (const auto& [name, line] : registered) {
+      if (used.count(name) == 0) {
+        diagnostics.push_back(
+            Diagnostic{rule.registry_file.filename().string(), line, rule.rule,
+                       "registered name \"" + name +
+                           "\" has no call site in the scanned sources — " +
+                           rule.stale_hint});
+      }
+    }
+  }
+
+  // ---- raw-mutex: annotated wrappers only, outside util/.
+  static const std::vector<std::string> kRawMutexTokens = {
+      "std::mutex",
+      "std::recursive_mutex",
+      "std::timed_mutex",
+      "std::recursive_timed_mutex",
+      "std::shared_mutex",
+      "std::shared_timed_mutex",
+      "std::condition_variable",
+      "std::condition_variable_any",
+      "std::lock_guard",
+      "std::unique_lock",
+      "std::scoped_lock",
+      "std::shared_lock",
+  };
+  for (const SourceFile& file : files) {
+    if (file.relative.rfind("util/", 0) == 0) continue;  // wrappers live here
+    for (std::size_t i = 0; i < file.views.tokens.size(); ++i) {
+      for (const std::string& token : kRawMutexTokens) {
+        if (!find_word(file.views.tokens[i], token).empty()) {
+          diagnostics.push_back(Diagnostic{
+              file.display, static_cast<int>(i) + 1, "raw-mutex",
+              "raw " + token + " outside util/ — use " + wrapper_for(token) +
+                  " (util/mutex.hpp) so clang thread-safety analysis sees "
+                  "the lock"});
+        }
+      }
+    }
+  }
+
+  // ---- raw-assert: contracts go through NP_ASSERT / NP_CHECK_*.
+  for (const SourceFile& file : files) {
+    if (file.relative == "util/check.hpp") continue;
+    for (std::size_t i = 0; i < file.views.tokens.size(); ++i) {
+      const std::string& line = file.views.tokens[i];
+      for (std::size_t pos : find_word(line, "assert")) {
+        // Word-boundary search already excludes static_assert and
+        // NP_ASSERT; require a call — `assert` as part of a comment was
+        // blanked, `assert` as an identifier without '(' is not the
+        // macro.
+        std::size_t after = pos + 6;
+        while (after < line.size() && line[after] == ' ') ++after;
+        if (after < line.size() && line[after] == '(') {
+          diagnostics.push_back(Diagnostic{
+              file.display, static_cast<int>(i) + 1, "raw-assert",
+              "raw assert() outside util/check.hpp — use NP_ASSERT / "
+              "NP_CHECK_* so Release semantics stay uniform"});
+        }
+      }
+      if (line.find("<cassert>") != std::string::npos ||
+          line.find("<assert.h>") != std::string::npos) {
+        diagnostics.push_back(Diagnostic{
+            file.display, static_cast<int>(i) + 1, "raw-assert",
+            "#include <cassert> outside util/check.hpp — contracts go "
+            "through util/check.hpp"});
+      }
+    }
+  }
+
+  // ---- include-hygiene: project-relative quoted includes + #pragma once.
+  static const std::regex kIncludeRe("^\\s*#\\s*include\\s+\"([^\"]+)\"");
+  for (const SourceFile& file : files) {
+    bool has_pragma_once = false;
+    for (std::size_t i = 0; i < file.views.code.size(); ++i) {
+      const std::string& line = file.views.code[i];
+      if (line.find("#pragma once") != std::string::npos) {
+        has_pragma_once = true;
+      }
+      std::smatch match;
+      if (!std::regex_search(line, match, kIncludeRe)) continue;
+      const std::string inc = match[1].str();
+      const int line_no = static_cast<int>(i) + 1;
+      if (inc.find("..") != std::string::npos) {
+        diagnostics.push_back(Diagnostic{
+            file.display, line_no, "include-hygiene",
+            "relative-parent include \"" + inc +
+                "\" — includes must be project-relative"});
+        continue;
+      }
+      if (inc.rfind("build/", 0) == 0) {
+        diagnostics.push_back(Diagnostic{
+            file.display, line_no, "include-hygiene",
+            "include \"" + inc + "\" reaches into the build tree"});
+        continue;
+      }
+      bool resolves = false;
+      for (const fs::path& root : options.include_roots) {
+        if (fs::exists(root / inc)) {
+          resolves = true;
+          break;
+        }
+      }
+      if (!resolves) {
+        diagnostics.push_back(Diagnostic{
+            file.display, line_no, "include-hygiene",
+            "include \"" + inc +
+                "\" does not resolve under any include root — quoted "
+                "includes must be project-relative"});
+      }
+    }
+    if (file.is_header && !has_pragma_once) {
+      diagnostics.push_back(Diagnostic{file.display, 1, "include-hygiene",
+                                       "header is missing #pragma once"});
+    }
+  }
+
+  std::sort(diagnostics.begin(), diagnostics.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule, a.message) <
+                     std::tie(b.file, b.line, b.rule, b.message);
+            });
+  return diagnostics;
+}
+
+}  // namespace np::lint

@@ -1,0 +1,97 @@
+// np_lint: a std-only analyzer over the source tree that enforces the
+// repo invariants clang-tidy cannot express. One Diagnostic per
+// violation, formatted "file:line: rule: message", deterministic order.
+//
+// Rules (each has a golden-violation fixture under tests/lint_fixtures/
+// and is documented in docs/INTERNALS.md §7):
+//
+//   obs-name        NP_SPAN / record_aggregate_span / obs::counter /
+//                   obs::gauge / obs::histogram literal names must be
+//                   registered in docs/obs_names.txt, and every
+//                   registered name must still have a call site — so
+//                   dashboards and trace_summary greps never silently
+//                   dangle in either direction.
+//   fault-site      NP_FAULT_POINT sites must match docs/fault_sites.txt
+//                   (and vice versa), keeping NEUROPLAN_FAULT_SITES
+//                   chaos configs valid.
+//   raw-mutex       no std::mutex / std::lock_guard / std::unique_lock /
+//                   std::condition_variable (etc.) outside util/ — all
+//                   locking goes through the annotated wrappers in
+//                   util/mutex.hpp so clang thread-safety analysis sees
+//                   every lock.
+//   raw-assert      no assert( / <cassert> outside util/check.hpp —
+//                   contracts go through NP_ASSERT / NP_CHECK_* so
+//                   Release semantics stay uniform.
+//   include-hygiene quoted includes must be project-relative (no "../",
+//                   no "build/", must resolve under an include root)
+//                   and every header carries #pragma once.
+//
+// The analysis is lexical but comment- and string-aware: a state
+// machine strips // and /* */ comments (and, for token rules, string
+// literal contents), so "std::mutex" in a doc comment or a log message
+// never trips a rule.
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace np::lint {
+
+struct Diagnostic {
+  std::string file;  ///< scan-root-relative, prefixed with the root's name
+  int line = 0;      ///< 1-based
+  std::string rule;
+  std::string message;
+
+  /// "file:line: rule: message" — the format CI and editors parse.
+  std::string to_string() const;
+};
+
+struct Options {
+  /// Directories to lint (recursively, *.hpp / *.cpp / *.h / *.cc).
+  /// Diagnostics report paths as <root-basename>/<relative-path>, so
+  /// scanning /repo/src yields "src/util/mutex.hpp".
+  std::vector<std::filesystem::path> scan_roots;
+  /// Roots against which quoted includes must resolve (normally the
+  /// src/ and tools/ directories — the -I set of the real build).
+  std::vector<std::filesystem::path> include_roots;
+  /// Name registries; an empty path disables the corresponding rule.
+  std::filesystem::path obs_names_file;
+  std::filesystem::path fault_sites_file;
+};
+
+/// Run every enabled rule over every file under the scan roots.
+/// Returns diagnostics sorted by (file, line, rule, message); empty
+/// means the tree is clean. Throws std::runtime_error on unreadable
+/// roots or registry files (infrastructure errors must not read as
+/// "clean").
+std::vector<Diagnostic> run(const Options& options);
+
+namespace detail {
+
+/// Comment/string-aware views of one file, line structure preserved
+/// (same line count and per-line length as the input).
+struct FileViews {
+  /// Comments blanked to spaces; string/char literals intact. Used by
+  /// rules that read literal names (obs-name, fault-site) and by the
+  /// include parser.
+  std::vector<std::string> code;
+  /// Comments AND string/char literal contents blanked (quotes kept).
+  /// Used by token rules (raw-mutex, raw-assert), so tokens quoted in
+  /// messages or in np_lint's own rule tables never self-trigger.
+  std::vector<std::string> tokens;
+};
+
+/// Build both views. Handles //, /* */, escapes, and R"delim(...)delim"
+/// raw strings.
+FileViews make_views(const std::string& text);
+
+/// Registry file format: one name per line, '#' starts a comment,
+/// blanks ignored. Returns (name, 1-based line) pairs in file order.
+std::vector<std::pair<std::string, int>> read_registry(
+    const std::filesystem::path& file);
+
+}  // namespace detail
+
+}  // namespace np::lint

@@ -1,0 +1,84 @@
+// np_lint CLI. Default invocation lints the repo the way CI does:
+//
+//   np_lint [--repo-root DIR]
+//
+// scans <root>/src and <root>/tools against the checked-in registries
+// <root>/docs/obs_names.txt and <root>/docs/fault_sites.txt, with
+// quoted includes resolved against src/ and tools/.
+//
+// Explicit form (used by the golden-fixture tests):
+//
+//   np_lint --scan DIR [--scan DIR ...]
+//           [--include-root DIR ...]
+//           [--obs-names FILE] [--fault-sites FILE]
+//
+// Output: one "file:line: rule: message" diagnostic per line on
+// stdout. Exit 0 = clean, 1 = violations found, 2 = usage or I/O
+// error (an unreadable tree must never read as "clean").
+#include <cstdio>
+#include <cstring>
+#include <exception>
+#include <string>
+
+#include "np_lint/lint.hpp"
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--repo-root DIR]\n"
+               "       %s --scan DIR [--scan DIR ...] "
+               "[--include-root DIR ...] [--obs-names FILE] "
+               "[--fault-sites FILE]\n",
+               argv0, argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  np::lint::Options options;
+  std::string repo_root = ".";
+  bool explicit_scan = false;
+  for (int i = 1; i < argc; ++i) {
+    const char* arg = argv[i];
+    const bool has_value = i + 1 < argc;
+    if (std::strcmp(arg, "--repo-root") == 0 && has_value) {
+      repo_root = argv[++i];
+    } else if (std::strcmp(arg, "--scan") == 0 && has_value) {
+      options.scan_roots.emplace_back(argv[++i]);
+      explicit_scan = true;
+    } else if (std::strcmp(arg, "--include-root") == 0 && has_value) {
+      options.include_roots.emplace_back(argv[++i]);
+    } else if (std::strcmp(arg, "--obs-names") == 0 && has_value) {
+      options.obs_names_file = argv[++i];
+    } else if (std::strcmp(arg, "--fault-sites") == 0 && has_value) {
+      options.fault_sites_file = argv[++i];
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  if (!explicit_scan) {
+    options.scan_roots = {repo_root + "/src", repo_root + "/tools"};
+    options.include_roots = {repo_root + "/src", repo_root + "/tools"};
+    options.obs_names_file = repo_root + "/docs/obs_names.txt";
+    options.fault_sites_file = repo_root + "/docs/fault_sites.txt";
+  }
+
+  try {
+    const auto diagnostics = np::lint::run(options);
+    for (const auto& d : diagnostics) {
+      std::printf("%s\n", d.to_string().c_str());
+    }
+    if (!diagnostics.empty()) {
+      std::fprintf(stderr, "np_lint: %zu violation%s\n", diagnostics.size(),
+                   diagnostics.size() == 1 ? "" : "s");
+      return 1;
+    }
+    std::fprintf(stderr, "np_lint: clean\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "np_lint: error: %s\n", e.what());
+    return 2;
+  }
+}
