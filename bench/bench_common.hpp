@@ -26,7 +26,9 @@ namespace np::bench {
 /// trajectories across PRs compare like with like.
 /// v3: lp_throughput gained the per-pricing-rule breakdown (multiple
 /// topologies per file, pricing_seconds/pricing_share per pass).
-inline constexpr int kBenchSchemaVersion = 3;
+/// v4: rollout_throughput reports the worker curve per inference mode
+/// (fast/tape) under "modes"; new nn_inference bench (BENCH_infer.json).
+inline constexpr int kBenchSchemaVersion = 4;
 
 /// Git revision baked in at configure time (bench/CMakeLists.txt);
 /// "unknown" outside a git checkout.

@@ -2,6 +2,12 @@
 // (rl::RolloutWorkers): env steps per second at 1, 2 and 4 workers,
 // written as JSON for scripts/bench_rollout.sh -> BENCH_rollout.json.
 //
+// The worker curve is measured twice, once per inference mode: "fast"
+// (the tape-free nn::InferenceEngine, the default acting path) and
+// "tape" (the autodiff forwards, NEUROPLAN_INFERENCE=tape). The two
+// curves are bit-identical in actions taken, so the delta is pure
+// forward-pass overhead in the acting hot path.
+//
 // The 1-worker row uses borrowed mode (the exact serial trainer path),
 // so speedups are measured against the true pre-threading baseline.
 // Interpreting the numbers needs `hardware_threads` from the JSON:
@@ -48,10 +54,11 @@ struct Measurement {
 
 Measurement measure(const topo::Topology& topology, const rl::EnvConfig& env,
                     nn::ActorCritic& net, int workers, unsigned seed,
-                    int steps) {
+                    int steps, nn::InferenceMode mode) {
   // Fresh PlanningEnv per measurement so LP caches start cold for every
   // worker count; one warmup collect builds them before timing.
   auto run = [&](rl::RolloutWorkers& rollout) {
+    rollout.set_inference_mode(mode);
     rollout.collect(steps);  // warmup
     const long warm_iters = rollout.total_lp_iterations();
     const double warm_secs = rollout.total_lp_seconds();
@@ -92,17 +99,27 @@ int main(int argc, char** argv) {
   nn::ActorCritic net(network_config(env), net_rng);
 
   const std::vector<int> worker_counts = {1, 2, 4};
-  std::vector<Measurement> rows;
-  for (int k : worker_counts) {
-    rows.push_back(measure(topology, env, net, k, seed, steps));
-    std::printf("workers %d: %.1f steps/s (lp share %.0f%%)\n", k,
-                rows.back().steps_per_sec,
-                100.0 * rows.back().lp_seconds / rows.back().wall_seconds);
+  const std::vector<nn::InferenceMode> modes = {nn::InferenceMode::kFast,
+                                                nn::InferenceMode::kTape};
+  // rows[mode][worker_count_index]
+  std::vector<std::vector<Measurement>> rows(modes.size());
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    for (int k : worker_counts) {
+      rows[m].push_back(measure(topology, env, net, k, seed, steps, modes[m]));
+      std::printf("[%s] workers %d: %.1f steps/s (lp share %.0f%%)\n",
+                  nn::to_string(modes[m]), k, rows[m].back().steps_per_sec,
+                  100.0 * rows[m].back().lp_seconds /
+                      rows[m].back().wall_seconds);
+    }
   }
-  const double speedup = rows.back().steps_per_sec / rows.front().steps_per_sec;
+  const double speedup =
+      rows[0].back().steps_per_sec / rows[0].front().steps_per_sec;
+  const double fast_vs_tape =
+      rows[0].front().steps_per_sec / rows[1].front().steps_per_sec;
   const int hw_threads = util::ThreadPool::hardware_threads();
-  std::printf("speedup 4 vs 1: %.2fx (on %d hardware threads)\n", speedup,
-              hw_threads);
+  std::printf("speedup 4 vs 1 (fast): %.2fx (on %d hardware threads)\n",
+              speedup, hw_threads);
+  std::printf("fast vs tape at 1 worker: %.2fx\n", fast_vs_tape);
   // Worker counts past the core count can't parallelize env stepping,
   // only batch network forwards — flag it so low speedups on small
   // machines aren't misread as regressions.
@@ -121,9 +138,11 @@ int main(int argc, char** argv) {
   }
   long total_lp_iterations = 0;
   double total_lp_seconds = 0.0;
-  for (const Measurement& m : rows) {
-    total_lp_iterations += m.lp_iterations;
-    total_lp_seconds += m.lp_seconds;
+  for (const auto& mode_rows : rows) {
+    for (const Measurement& m : mode_rows) {
+      total_lp_iterations += m.lp_iterations;
+      total_lp_seconds += m.lp_seconds;
+    }
   }
   std::fprintf(out, "{\n");
   bench::print_json_provenance(out);
@@ -133,29 +152,36 @@ int main(int argc, char** argv) {
                "  \"steps_per_collect\": %d,\n"
                "  \"hardware_threads\": %d,\n"
                "  \"warning\": \"%s\",\n"
-               "  \"workers\": [\n",
+               "  \"modes\": [\n",
                preset, steps, hw_threads,
                oversubscribed ? "hardware_threads below max worker count; "
                                 "speedup is thread-starved"
                               : "");
-  for (std::size_t i = 0; i < worker_counts.size(); ++i) {
-    const Measurement& m = rows[i];
-    std::fprintf(out,
-                 "    {\"workers\": %d, \"steps_per_sec\": %.2f, "
-                 "\"lp_iterations\": %ld, \"lp_seconds\": %.4f, "
-                 "\"lp_share\": %.3f}%s\n",
-                 worker_counts[i], m.steps_per_sec, m.lp_iterations,
-                 m.lp_seconds,
-                 m.wall_seconds > 0.0 ? m.lp_seconds / m.wall_seconds : 0.0,
-                 i + 1 < worker_counts.size() ? "," : "");
+  for (std::size_t m = 0; m < modes.size(); ++m) {
+    std::fprintf(out, "    {\"inference\": \"%s\", \"workers\": [\n",
+                 nn::to_string(modes[m]));
+    for (std::size_t i = 0; i < worker_counts.size(); ++i) {
+      const Measurement& row = rows[m][i];
+      std::fprintf(
+          out,
+          "      {\"workers\": %d, \"steps_per_sec\": %.2f, "
+          "\"lp_iterations\": %ld, \"lp_seconds\": %.4f, "
+          "\"lp_share\": %.3f}%s\n",
+          worker_counts[i], row.steps_per_sec, row.lp_iterations,
+          row.lp_seconds,
+          row.wall_seconds > 0.0 ? row.lp_seconds / row.wall_seconds : 0.0,
+          i + 1 < worker_counts.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", m + 1 < modes.size() ? "," : "");
   }
   std::fprintf(out,
                "  ],\n"
                "  \"total_lp_iterations\": %ld,\n"
                "  \"lp_seconds\": %.4f,\n"
-               "  \"speedup_4v1\": %.3f\n"
+               "  \"speedup_4v1\": %.3f,\n"
+               "  \"fast_vs_tape_1worker\": %.3f\n"
                "}\n",
-               total_lp_iterations, total_lp_seconds, speedup);
+               total_lp_iterations, total_lp_seconds, speedup, fast_vs_tape);
   std::fclose(out);
   std::printf("wrote %s\n", out_path);
   obs::shutdown();

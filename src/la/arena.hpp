@@ -1,0 +1,77 @@
+// Bump allocator for inference intermediates (nn::InferenceEngine).
+//
+// An Arena hands out cache-line-aligned double/byte spans from one
+// preallocated chunk; reset() rewinds the cursor without releasing
+// memory, so a steady-state forward pass that stays within the
+// high-water mark of its warmup pass performs ZERO heap allocations.
+// Overflow mid-pass is handled without invalidating live pointers: the
+// overflowing request is served from a fresh chunk, and the next
+// reset() coalesces every chunk into one buffer sized to the high-water
+// mark — after which the arena is allocation-free again. The
+// `reallocations()` counter makes that warmup/steady-state boundary
+// testable (tests assert it stops moving).
+//
+// Not thread-safe; keep one Arena per owner (the inference engine runs
+// forwards on a single thread).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+namespace np::la {
+
+class Arena {
+ public:
+  /// Starts empty; the first allocation (or reserve()) creates storage.
+  Arena() = default;
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Grow capacity to at least `bytes` (no-op when already large
+  /// enough). Call during setup so the hot path never overflows.
+  void reserve(std::size_t bytes);
+
+  /// `count` doubles, 64-byte aligned, zero-INITIALIZED BY THE CALLER
+  /// (contents are indeterminate). Valid until the next reset().
+  double* alloc_doubles(std::size_t count);
+
+  /// `count` bytes, 64-byte aligned. Valid until the next reset().
+  std::uint8_t* alloc_bytes(std::size_t count);
+
+  /// Rewind to empty, keeping capacity. If the previous pass
+  /// overflowed into extra chunks, they are coalesced into one buffer
+  /// here (the one place allocation can happen between passes).
+  void reset();
+
+  /// Bytes handed out since the last reset() (aligned sizes).
+  std::size_t used_bytes() const { return used_; }
+  /// Largest used_bytes() ever observed — the steady-state footprint.
+  std::size_t high_water_bytes() const { return high_water_; }
+  /// Total bytes owned across chunks.
+  std::size_t capacity_bytes() const { return capacity_; }
+  /// Number of heap allocations ever made by this arena. Stable across
+  /// passes == the hot path is allocation-free.
+  long reallocations() const { return reallocations_; }
+
+ private:
+  struct Chunk {
+    std::unique_ptr<std::uint8_t[]> data;
+    std::size_t size = 0;
+    std::size_t offset = 0;
+  };
+
+  std::uint8_t* alloc_aligned(std::size_t bytes);
+  void add_chunk(std::size_t bytes);
+
+  std::vector<Chunk> chunks_;
+  std::size_t active_ = 0;  ///< chunk currently being bumped
+  std::size_t used_ = 0;
+  std::size_t high_water_ = 0;
+  std::size_t capacity_ = 0;
+  long reallocations_ = 0;
+};
+
+}  // namespace np::la

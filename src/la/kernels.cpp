@@ -1,0 +1,205 @@
+#include "la/kernels.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "util/check.hpp"
+
+namespace np::la::kernels {
+
+namespace {
+
+// Cache tiles match la::Matrix::matmul so the tape and fast paths have
+// identical k-chain segmentation (bit-identity needs identical ORDER,
+// which any segmentation of an ascending k loop preserves — but keeping
+// the constants aligned makes the cache behavior comparable too).
+constexpr std::size_t kTileK = 64;
+constexpr std::size_t kTileJ = 128;
+// Register blocking: 4 output rows share every load of a B row, and
+// give the compiler 4 independent accumulation chains to vectorize and
+// interleave across the contiguous j loop.
+constexpr std::size_t kRowBlock = 4;
+
+/// The register-blocked inner kernel over a [kk, kend) x [jj, jend)
+/// panel for rows [i0, i0 + rows), rows <= kRowBlock. Each out(i, j)
+/// accumulates in ascending k within the panel.
+inline void panel(const double* a, std::size_t lda, const double* b,
+                  std::size_t ldb, double* out, std::size_t ldo,
+                  std::size_t i0, std::size_t rows, std::size_t kk,
+                  std::size_t kend, std::size_t jj, std::size_t jend) {
+  if (rows == kRowBlock) {
+    double* o0 = out + (i0 + 0) * ldo;
+    double* o1 = out + (i0 + 1) * ldo;
+    double* o2 = out + (i0 + 2) * ldo;
+    double* o3 = out + (i0 + 3) * ldo;
+    const double* a0 = a + (i0 + 0) * lda;
+    const double* a1 = a + (i0 + 1) * lda;
+    const double* a2 = a + (i0 + 2) * lda;
+    const double* a3 = a + (i0 + 3) * lda;
+    for (std::size_t k = kk; k < kend; ++k) {
+      const double v0 = a0[k], v1 = a1[k], v2 = a2[k], v3 = a3[k];
+      const double* brow = b + k * ldb;
+      for (std::size_t j = jj; j < jend; ++j) {
+        const double bj = brow[j];
+        o0[j] += v0 * bj;
+        o1[j] += v1 * bj;
+        o2[j] += v2 * bj;
+        o3[j] += v3 * bj;
+      }
+    }
+    return;
+  }
+  for (std::size_t i = i0; i < i0 + rows; ++i) {
+    const double* arow = a + i * lda;
+    double* orow = out + i * ldo;
+    for (std::size_t k = kk; k < kend; ++k) {
+      const double aik = arow[k];
+      const double* brow = b + k * ldb;
+      for (std::size_t j = jj; j < jend; ++j) orow[j] += aik * brow[j];
+    }
+  }
+}
+
+}  // namespace
+
+void matmul(const double* a, std::size_t n, std::size_t k, const double* b,
+            std::size_t m, double* out) {
+  std::fill(out, out + n * m, 0.0);
+  if (k <= kTileK && m <= kTileJ) {
+    std::size_t i = 0;
+    for (; i + kRowBlock <= n; i += kRowBlock) {
+      panel(a, k, b, m, out, m, i, kRowBlock, 0, k, 0, m);
+    }
+    if (i < n) panel(a, k, b, m, out, m, i, n - i, 0, k, 0, m);
+    return;
+  }
+  for (std::size_t jj = 0; jj < m; jj += kTileJ) {
+    const std::size_t jend = std::min(m, jj + kTileJ);
+    for (std::size_t kk = 0; kk < k; kk += kTileK) {
+      const std::size_t kend = std::min(k, kk + kTileK);
+      std::size_t i = 0;
+      for (; i + kRowBlock <= n; i += kRowBlock) {
+        panel(a, k, b, m, out, m, i, kRowBlock, kk, kend, jj, jend);
+      }
+      if (i < n) panel(a, k, b, m, out, m, i, n - i, kk, kend, jj, jend);
+    }
+  }
+}
+
+void bias_relu(double* x, std::size_t n, std::size_t m, const double* bias,
+               Activation act) {
+  for (std::size_t i = 0; i < n; ++i) {
+    double* row = x + i * m;
+    if (bias != nullptr) {
+      for (std::size_t j = 0; j < m; ++j) row[j] += bias[j];
+    }
+    if (act == Activation::kRelu) {
+      for (std::size_t j = 0; j < m; ++j) row[j] = row[j] > 0.0 ? row[j] : 0.0;
+    }
+  }
+}
+
+void matmul_bias_act(const double* a, std::size_t n, std::size_t k,
+                     const double* b, std::size_t m, const double* bias,
+                     Activation act, double* out) {
+  matmul(a, n, k, b, m, out);
+  bias_relu(out, n, m, bias, act);
+  NP_CHECK_FINITE(out, n * m, "kernels::matmul_bias_act");
+}
+
+void spmm(const CsrMatrix& a, const double* x, std::size_t cols, double* out) {
+  const std::size_t rows = a.rows();
+  const std::size_t* offsets = a.row_offsets().data();
+  const std::size_t* indices = a.col_indices().data();
+  const double* values = a.values().data();
+  // Row-chunked: bounded batches of output rows keep the touched panel
+  // of x warm across nearby rows (adjacency rows index overlapping
+  // neighborhoods). Per-row nnz order is ascending, matching
+  // CsrMatrix::multiply bitwise.
+  constexpr std::size_t kRowChunk = 64;
+  for (std::size_t r0 = 0; r0 < rows; r0 += kRowChunk) {
+    const std::size_t r1 = std::min(rows, r0 + kRowChunk);
+    for (std::size_t r = r0; r < r1; ++r) {
+      double* orow = out + r * cols;
+      std::fill(orow, orow + cols, 0.0);
+      for (std::size_t e = offsets[r]; e < offsets[r + 1]; ++e) {
+        const double v = values[e];
+        const double* xrow = x + indices[e] * cols;
+        for (std::size_t j = 0; j < cols; ++j) orow[j] += v * xrow[j];
+      }
+    }
+  }
+  NP_CHECK_FINITE(out, rows * cols, "kernels::spmm");
+}
+
+void mean_rows(const double* x, std::size_t n, std::size_t c, double* out) {
+  std::fill(out, out + c, 0.0);
+  for (std::size_t r = 0; r < n; ++r) {
+    const double* xrow = x + r * c;
+    for (std::size_t j = 0; j < c; ++j) out[j] += xrow[j];
+  }
+  const double inv = 1.0 / static_cast<double>(n);
+  for (std::size_t j = 0; j < c; ++j) out[j] *= inv;
+}
+
+void masked_log_softmax(const double* logits, const std::uint8_t* mask,
+                        std::size_t k, double* out) {
+  constexpr double kMaskedLogProb = -1e30;  // matches ad::Tape
+  double max_valid = -1e300;
+  std::size_t valid_count = 0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (mask[i]) {
+      max_valid = std::max(max_valid, logits[i]);
+      ++valid_count;
+    }
+  }
+  if (valid_count == 0) {
+    throw std::invalid_argument("kernels::masked_log_softmax: no valid entries");
+  }
+  double sum_exp = 0.0;
+  for (std::size_t i = 0; i < k; ++i) {
+    if (mask[i]) sum_exp += std::exp(logits[i] - max_valid);
+  }
+  const double log_z = max_valid + std::log(sum_exp);
+  for (std::size_t i = 0; i < k; ++i) {
+    out[i] = mask[i] ? logits[i] - log_z : kMaskedLogProb;
+  }
+}
+
+void gat_aggregate(const CsrMatrix& adjacency, const double* src,
+                   const double* dst, const double* z, std::size_t cols,
+                   double leaky_slope, double* scratch, double* out) {
+  const std::size_t n = adjacency.rows();
+  const std::size_t* offsets = adjacency.row_offsets().data();
+  const std::size_t* indices = adjacency.col_indices().data();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::size_t begin = offsets[i], end = offsets[i + 1];
+    const std::size_t deg = end - begin;
+    if (deg == 0) {
+      throw std::invalid_argument(
+          "kernels::gat_aggregate: node without neighbors (self loops required)");
+    }
+    double max_e = -1e300;
+    for (std::size_t e = 0; e < deg; ++e) {
+      const double pre = src[i] + dst[indices[begin + e]];
+      scratch[e] = pre > 0.0 ? pre : leaky_slope * pre;
+      max_e = std::max(max_e, scratch[e]);
+    }
+    double total = 0.0;
+    for (std::size_t e = 0; e < deg; ++e) {
+      scratch[e] = std::exp(scratch[e] - max_e);
+      total += scratch[e];
+    }
+    double* orow = out + i * cols;
+    std::fill(orow, orow + cols, 0.0);
+    for (std::size_t e = 0; e < deg; ++e) {
+      const double alpha = scratch[e] / total;
+      const double* zrow = z + indices[begin + e] * cols;
+      for (std::size_t j = 0; j < cols; ++j) orow[j] += alpha * zrow[j];
+    }
+  }
+  NP_CHECK_FINITE(out, n * cols, "kernels::gat_aggregate");
+}
+
+}  // namespace np::la::kernels

@@ -1,0 +1,22 @@
+#include "la/ragged.hpp"
+
+#include <stdexcept>
+
+namespace np::la {
+
+void RaggedLayout::assign(const std::size_t* rows_per_block, std::size_t blocks) {
+  if (blocks == 0) {
+    throw std::invalid_argument("RaggedLayout::assign: no blocks");
+  }
+  offsets_.clear();
+  offsets_.reserve(blocks + 1);
+  offsets_.push_back(0);
+  for (std::size_t b = 0; b < blocks; ++b) {
+    if (rows_per_block[b] == 0) {
+      throw std::invalid_argument("RaggedLayout::assign: empty block");
+    }
+    offsets_.push_back(offsets_.back() + rows_per_block[b]);
+  }
+}
+
+}  // namespace np::la

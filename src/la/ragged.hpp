@@ -1,0 +1,37 @@
+// Row layout of a ragged block-diagonal stack: variable-size blocks
+// concatenated along the row axis with no padding. Block b owns rows
+// [offset(b), offset(b) + rows(b)) of the stacked matrix; per-block
+// sparse ops (spmm, gat_aggregate) against the block's own adjacency
+// are bit-identical to the same ops against the materialized
+// block-diagonal matrix, while dense row-wise ops (matmul, bias, relu,
+// log-softmax slices) run once over the whole stack.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace np::la {
+
+class RaggedLayout {
+ public:
+  RaggedLayout() = default;
+
+  /// Rebuild in place from per-block row counts (every count must be
+  /// positive). Reuses capacity, so rebuilding each batch is heap-free
+  /// once warm.
+  void assign(const std::size_t* rows_per_block, std::size_t blocks);
+
+  std::size_t blocks() const {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::size_t rows(std::size_t b) const { return offsets_[b + 1] - offsets_[b]; }
+  std::size_t offset(std::size_t b) const { return offsets_[b]; }
+  std::size_t total_rows() const {
+    return offsets_.empty() ? 0 : offsets_.back();
+  }
+
+ private:
+  std::vector<std::size_t> offsets_;  ///< blocks + 1 prefix sums
+};
+
+}  // namespace np::la

@@ -55,8 +55,19 @@ la::Matrix PlanningEnv::features() const {
   return topo::node_features(topology_, units_, config_.include_static_features);
 }
 
+void PlanningEnv::features_into(la::Matrix& out) const {
+  topo::node_features_into(topology_, units_, config_.include_static_features,
+                           out);
+}
+
 std::vector<std::uint8_t> PlanningEnv::action_mask() const {
-  std::vector<std::uint8_t> mask(num_actions(), 0);
+  std::vector<std::uint8_t> mask;
+  action_mask_into(mask);
+  return mask;
+}
+
+void PlanningEnv::action_mask_into(std::vector<std::uint8_t>& mask) const {
+  mask.assign(num_actions(), 0);
   for (int l = 0; l < topology_.num_links(); ++l) {
     const int headroom = topology_.spectrum_headroom_units(l, units_);
     const int allowed = std::min(headroom, config_.max_units_per_step);
@@ -75,7 +86,6 @@ std::vector<std::uint8_t> PlanningEnv::action_mask() const {
   NP_CHECK_ACTION_MASK(mask, headroom_units, config_.max_units_per_step,
                        "PlanningEnv::action_mask");
 #endif
-  return mask;
 }
 
 bool PlanningEnv::has_valid_action() const {

@@ -65,9 +65,15 @@ class PlanningEnv {
   }
   /// Fresh feature matrix for the current capacities.
   la::Matrix features() const;
+  /// features() into a reused buffer: zero allocations once the buffer
+  /// has the right shape (it always does after the first call — the
+  /// shape is fixed per topology). Bit-identical values.
+  void features_into(la::Matrix& out) const;
   /// Mask over the n*m flattened actions: true iff adding k units to
   /// the link keeps every fiber within its spectrum (Eq. 4).
   std::vector<std::uint8_t> action_mask() const;
+  /// action_mask() into a reused buffer (assign keeps capacity).
+  void action_mask_into(std::vector<std::uint8_t>& out) const;
   /// True when at least one action is unmasked.
   bool has_valid_action() const;
 

@@ -48,13 +48,18 @@ void record_rollout_totals(const std::vector<WorkerRollout>& rollouts) {
 
 int sample_from_log_probs(const la::Matrix& log_probs,
                           const std::vector<std::uint8_t>& mask, Rng& rng) {
+  return sample_from_log_probs(log_probs.data(), mask, rng);
+}
+
+int sample_from_log_probs(const double* log_probs,
+                          const std::vector<std::uint8_t>& mask, Rng& rng) {
   // Categorical sample over valid entries; probabilities sum to 1.
   double r = rng.uniform();
   int last_valid = -1;
   for (std::size_t i = 0; i < mask.size(); ++i) {
     if (!mask[i]) continue;
     last_valid = static_cast<int>(i);
-    r -= std::exp(log_probs(0, i));
+    r -= std::exp(log_probs[i]);
     if (r < 0.0) return static_cast<int>(i);
   }
   if (last_valid < 0) throw std::logic_error("sample_from_log_probs: dead mask");
@@ -62,16 +67,25 @@ int sample_from_log_probs(const la::Matrix& log_probs,
 }
 
 RolloutWorkers::RolloutWorkers(PlanningEnv& env, Rng& rng, nn::ActorCritic& network)
-    : network_(network), workers_(1), borrowed_env_(&env), borrowed_rng_(&rng) {}
+    : network_(network),
+      workers_(1),
+      mode_(nn::inference_mode_from_env()),
+      borrowed_env_(&env),
+      borrowed_rng_(&rng) {
+  feature_buffers_.resize(1);
+  mask_buffers_.resize(1);
+}
 
 RolloutWorkers::RolloutWorkers(const topo::Topology& topology,
                                const EnvConfig& env_config,
                                nn::ActorCritic& network, int workers,
                                unsigned seed)
-    : network_(network), workers_(workers) {
+    : network_(network), workers_(workers), mode_(nn::inference_mode_from_env()) {
   if (workers < 1) {
     throw std::invalid_argument("RolloutWorkers: workers must be >= 1");
   }
+  feature_buffers_.resize(workers);
+  mask_buffers_.resize(workers);
   envs_.reserve(workers);
   rngs_.reserve(workers);
   Rng base(seed);
@@ -121,11 +135,26 @@ double RolloutWorkers::total_lp_seconds() const {
   return total;
 }
 
+void RolloutWorkers::set_inference_mode(nn::InferenceMode mode) {
+  mode_ = mode;
+  if (mode == nn::InferenceMode::kTape) engine_.reset();
+}
+
+void RolloutWorkers::prepare_engine() {
+  if (engine_ == nullptr) {
+    engine_ = std::make_unique<nn::InferenceEngine>(network_);
+  } else {
+    // The optimizer stepped since the last epoch; re-snapshot.
+    engine_->refresh();
+  }
+}
+
 std::vector<WorkerRollout> RolloutWorkers::collect(int total_steps) {
   if (total_steps < 1) {
     throw std::invalid_argument("RolloutWorkers::collect: total_steps < 1");
   }
   NP_SPAN("rollout.collect");
+  if (mode_ == nn::InferenceMode::kFast) prepare_engine();
   std::vector<WorkerRollout> out;
   if (borrowed_env_ != nullptr) {
     out.push_back(collect_serial(*borrowed_env_, *borrowed_rng_, total_steps));
@@ -146,21 +175,36 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
   double trajectory_return = 0.0;
   int episode_length = 0;
 
+  la::Matrix& features = feature_buffers_[0];
+  std::vector<std::uint8_t>& mask = mask_buffers_[0];
+
   env.reset();
   while (static_cast<int>(rollout.records.size()) < steps) {
     StepRecord record;
-    record.features = env.features();
-    record.mask = env.action_mask();
+    env.features_into(features);
+    env.action_mask_into(mask);
+    record.features = features;  // records own copies; buffers stay warm
+    record.mask = mask;
 
     {
       NP_SPAN("rollout.forward");
-      ad::Tape tape;
-      ad::Tensor log_probs = network_.policy_log_probs(tape, env.adjacency(),
-                                                       record.features, record.mask);
-      ad::Tensor value = network_.value(tape, env.adjacency(), record.features);
-      record.action = sample_from_log_probs(tape.value(log_probs), record.mask, rng);
-      record.log_prob = tape.value(log_probs)(0, record.action);
-      record.value = tape.value(value)(0, 0);
+      if (engine_ != nullptr) {
+        // Tape-free path: one shared encoder pass for policy + value,
+        // bit-identical to the tape forwards below.
+        const nn::InferenceEngine::Output out = engine_->forward(
+            *env.adjacency(), record.features, record.mask, /*want_value=*/true);
+        record.action = sample_from_log_probs(out.log_probs, record.mask, rng);
+        record.log_prob = out.log_probs[record.action];
+        record.value = out.value;
+      } else {
+        ad::Tape tape;
+        ad::Tensor log_probs = network_.policy_log_probs(tape, env.adjacency(),
+                                                         record.features, record.mask);
+        ad::Tensor value = network_.value(tape, env.adjacency(), record.features);
+        record.action = sample_from_log_probs(tape.value(log_probs), record.mask, rng);
+        record.log_prob = tape.value(log_probs)(0, record.action);
+        record.value = tape.value(value)(0, 0);
+      }
     }
 
     StepResult step;
@@ -194,9 +238,14 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
   }
 
   if (!rollout.records.back().terminal) {
-    ad::Tape tape;
-    ad::Tensor v = network_.value(tape, env.adjacency(), env.features());
-    rollout.last_value = tape.value(v)(0, 0);
+    env.features_into(features);
+    if (engine_ != nullptr) {
+      rollout.last_value = engine_->value(*env.adjacency(), features);
+    } else {
+      ad::Tape tape;
+      ad::Tensor v = network_.value(tape, env.adjacency(), features);
+      rollout.last_value = tape.value(v)(0, 0);
+    }
   }
   return rollout;
 }
@@ -224,8 +273,8 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
   workers_gauge.set(static_cast<double>(k));
 
   std::vector<int> active;
-  std::vector<la::Matrix> features(k);
-  std::vector<std::vector<std::uint8_t>> masks(k);
+  std::vector<la::Matrix>& features = feature_buffers_;
+  std::vector<std::vector<std::uint8_t>>& masks = mask_buffers_;
   std::vector<StepResult> results(k);
 
   for (;;) {
@@ -238,20 +287,51 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
     active_steps_counter.add(static_cast<long>(active.size()));
 
     // One batched policy+value forward over all active workers' states.
-    std::vector<const la::Matrix*> feature_parts;
-    std::vector<const std::vector<std::uint8_t>*> mask_parts;
-    feature_parts.reserve(active.size());
-    mask_parts.reserve(active.size());
+    // Observations land in the reused per-worker buffers; the records
+    // copy them so the buffers keep their capacity across rounds.
     for (int w : active) {
-      features[w] = envs_[w]->features();
-      masks[w] = envs_[w]->action_mask();
-      feature_parts.push_back(&features[w]);
-      mask_parts.push_back(&masks[w]);
+      envs_[w]->features_into(features[w]);
+      envs_[w]->action_mask_into(masks[w]);
     }
 
-    ad::Tape tape;
-    {
+    if (engine_ != nullptr) {
       NP_SPAN("rollout.forward");
+      // Tape-free ragged batch: per-block forwards against each env's
+      // own adjacency are bit-identical to the block-diagonal tape
+      // forward below, with no stacking copy and no tape nodes.
+      graph_inputs_.clear();
+      for (int w : active) {
+        graph_inputs_.push_back(nn::InferenceEngine::GraphInput{
+            envs_[w]->adjacency().get(), &features[w], &masks[w]});
+      }
+      const nn::InferenceEngine::BatchOutput& forward = engine_->forward_ragged(
+          graph_inputs_.data(), graph_inputs_.size(), /*want_values=*/true);
+
+      // Sample in ascending worker order, each from its own RNG stream:
+      // the draw sequence depends only on (seed, worker), not scheduling.
+      for (std::size_t s = 0; s < active.size(); ++s) {
+        const int w = active[s];
+        StepRecord record;
+        record.features = features[w];
+        record.mask = masks[w];
+        record.action =
+            sample_from_log_probs(forward.log_probs[s], record.mask, rngs_[w]);
+        record.log_prob = forward.log_probs[s][record.action];
+        record.value = forward.values[s];
+        rollouts[w].records.push_back(std::move(record));
+      }
+    } else {
+      NP_SPAN("rollout.forward");
+      std::vector<const la::Matrix*> feature_parts;
+      std::vector<const std::vector<std::uint8_t>*> mask_parts;
+      feature_parts.reserve(active.size());
+      mask_parts.reserve(active.size());
+      for (int w : active) {
+        feature_parts.push_back(&features[w]);
+        mask_parts.push_back(&masks[w]);
+      }
+
+      ad::Tape tape;
       const la::Matrix stacked = la::vstack(feature_parts);
       auto forward = network_.forward_batch(
           tape, adjacency_cache_->get(static_cast<int>(active.size())), stacked,
@@ -262,8 +342,8 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
       for (std::size_t s = 0; s < active.size(); ++s) {
         const int w = active[s];
         StepRecord record;
-        record.features = std::move(features[w]);
-        record.mask = std::move(masks[w]);
+        record.features = features[w];
+        record.mask = masks[w];
         record.action =
             sample_from_log_probs(tape.value(forward.log_probs[s]), record.mask, rngs_[w]);
         record.log_prob = tape.value(forward.log_probs[s])(0, record.action);
@@ -318,9 +398,14 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
   // Bootstrap values for workers whose last trajectory was cut off.
   for (int w = 0; w < k; ++w) {
     if (rollouts[w].records.empty() || rollouts[w].records.back().terminal) continue;
-    ad::Tape tape;
-    ad::Tensor v = network_.value(tape, envs_[w]->adjacency(), envs_[w]->features());
-    rollouts[w].last_value = tape.value(v)(0, 0);
+    envs_[w]->features_into(features[w]);
+    if (engine_ != nullptr) {
+      rollouts[w].last_value = engine_->value(*envs_[w]->adjacency(), features[w]);
+    } else {
+      ad::Tape tape;
+      ad::Tensor v = network_.value(tape, envs_[w]->adjacency(), features[w]);
+      rollouts[w].last_value = tape.value(v)(0, 0);
+    }
   }
   return rollouts;
 }

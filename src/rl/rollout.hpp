@@ -31,6 +31,7 @@
 #include "la/matrix.hpp"
 #include "la/sparse.hpp"
 #include "nn/actor_critic.hpp"
+#include "nn/inference.hpp"
 #include "rl/env.hpp"
 #include "util/rng.hpp"
 #include "util/thread_pool.hpp"
@@ -57,6 +58,10 @@ struct StepRecord {
 /// Categorical sample over the masked entries of a 1 x k log-prob row.
 /// Consumes exactly one rng.uniform() call.
 int sample_from_log_probs(const la::Matrix& log_probs,
+                          const std::vector<std::uint8_t>& mask, Rng& rng);
+/// Raw-pointer variant (the tape-free path); the Matrix overload
+/// delegates here, so both consume RNG identically.
+int sample_from_log_probs(const double* log_probs,
                           const std::vector<std::uint8_t>& mask, Rng& rng);
 
 /// One worker's share of an epoch.
@@ -95,6 +100,18 @@ class RolloutWorkers {
   int workers() const { return workers_; }
   bool borrowed() const { return borrowed_env_ != nullptr; }
 
+  /// Acting-time forward path: kFast (default, from NEUROPLAN_INFERENCE)
+  /// runs action selection through the tape-free nn::InferenceEngine —
+  /// bit-identical to the tape, so both the borrowed-mode "bit-for-bit
+  /// the serial trainer" guarantee and the owned-mode (K, seed)
+  /// determinism hold in either mode. kTape is the escape hatch.
+  nn::InferenceMode inference_mode() const { return mode_; }
+  void set_inference_mode(nn::InferenceMode mode);
+  /// The engine backing fast-mode acting (nullptr in tape mode or
+  /// before the first fast collect). Exposed for arena introspection in
+  /// tests and benches.
+  const nn::InferenceEngine* inference_engine() const { return engine_.get(); }
+
   /// RNG states of the owned per-worker streams, worker-ordered
   /// (checkpointing). Empty in borrowed mode — the caller owns the RNG
   /// there and snapshots it directly.
@@ -115,9 +132,19 @@ class RolloutWorkers {
  private:
   WorkerRollout collect_serial(PlanningEnv& env, Rng& rng, int steps);
   std::vector<WorkerRollout> collect_lockstep(int total_steps);
+  /// Lazily build + re-snapshot the engine (weights change every epoch).
+  void prepare_engine();
 
   nn::ActorCritic& network_;
   int workers_ = 1;
+  nn::InferenceMode mode_ = nn::InferenceMode::kFast;
+  std::unique_ptr<nn::InferenceEngine> engine_;
+  // Observation buffers reused across steps/rounds: the envs write into
+  // these (features_into/action_mask_into) and records COPY them, so
+  // per-step observation building allocates nothing once warm.
+  std::vector<la::Matrix> feature_buffers_;
+  std::vector<std::vector<std::uint8_t>> mask_buffers_;
+  std::vector<nn::InferenceEngine::GraphInput> graph_inputs_;
 
   // Borrowed mode.
   PlanningEnv* borrowed_env_ = nullptr;

@@ -152,6 +152,10 @@ class A2cTrainer {
                      const std::vector<double>& advantages);
   void update_critic(const std::vector<StepRecord>& buffer,
                      const std::vector<double>& rewards_to_go);
+  /// Tape-free engine for evaluate_policy/greedy_rollout action
+  /// selection (NEUROPLAN_INFERENCE=fast, the default); nullptr in tape
+  /// mode. Re-snapshots the current weights on every call.
+  nn::InferenceEngine* acting_engine();
 
   static constexpr double kUnset = kUnsetCost;
 
@@ -162,6 +166,7 @@ class A2cTrainer {
   ad::Adam actor_optimizer_;
   ad::Adam critic_optimizer_;
   std::unique_ptr<RolloutWorkers> rollout_;
+  std::unique_ptr<nn::InferenceEngine> acting_engine_storage_;
   la::BlockDiagonalCache adjacency_cache_;  ///< for batched updates
   double best_cost_ = kUnset;
   std::vector<int> best_added_;

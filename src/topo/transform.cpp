@@ -7,18 +7,26 @@ namespace np::topo {
 
 namespace {
 
-/// z-normalize a vector in place (mean 0, std 1); constant vectors
-/// normalize to all zeros.
-void z_normalize(std::vector<double>& values) {
-  if (values.empty()) return;
+/// z-normalize a strided sequence in place (mean 0, std 1); constant
+/// sequences normalize to all zeros. Works on matrix columns directly
+/// so node_features_into needs no scratch vector; the ascending
+/// accumulation matches the old contiguous version bitwise.
+void z_normalize(double* values, std::size_t count, std::size_t stride) {
+  if (count == 0) return;
   double mean = 0.0;
-  for (double v : values) mean += v;
-  mean /= static_cast<double>(values.size());
+  for (std::size_t i = 0; i < count; ++i) mean += values[i * stride];
+  mean /= static_cast<double>(count);
   double var = 0.0;
-  for (double v : values) var += (v - mean) * (v - mean);
-  var /= static_cast<double>(values.size());
+  for (std::size_t i = 0; i < count; ++i) {
+    const double v = values[i * stride];
+    var += (v - mean) * (v - mean);
+  }
+  var /= static_cast<double>(count);
   const double std_dev = std::sqrt(var);
-  for (double& v : values) v = std_dev > 1e-12 ? (v - mean) / std_dev : 0.0;
+  for (std::size_t i = 0; i < count; ++i) {
+    double& v = values[i * stride];
+    v = std_dev > 1e-12 ? (v - mean) / std_dev : 0.0;
+  }
 }
 
 }  // namespace
@@ -81,34 +89,36 @@ int feature_dimension(bool include_static_features) {
 la::Matrix node_features(const Topology& topology,
                          const std::vector<int>& total_units,
                          bool include_static_features) {
+  la::Matrix features;
+  node_features_into(topology, total_units, include_static_features, features);
+  return features;
+}
+
+void node_features_into(const Topology& topology,
+                        const std::vector<int>& total_units,
+                        bool include_static_features, la::Matrix& out) {
   const int n = topology.num_links();
   if (total_units.size() != static_cast<std::size_t>(n)) {
     throw std::invalid_argument("node_features: unit vector size mismatch");
   }
-  const int f = feature_dimension(include_static_features);
-  la::Matrix features(static_cast<std::size_t>(n), static_cast<std::size_t>(f), 0.0);
+  const std::size_t f =
+      static_cast<std::size_t>(feature_dimension(include_static_features));
+  if (out.rows() != static_cast<std::size_t>(n) || out.cols() != f) {
+    out = la::Matrix(static_cast<std::size_t>(n), f, 0.0);
+  }
 
-  std::vector<double> capacity(n);
-  for (int i = 0; i < n; ++i) capacity[i] = static_cast<double>(total_units[i]);
-  z_normalize(capacity);
-  for (int i = 0; i < n; ++i) features(i, 0) = capacity[i];
+  for (int i = 0; i < n; ++i) out(i, 0) = static_cast<double>(total_units[i]);
+  z_normalize(out.data(), static_cast<std::size_t>(n), f);
 
   if (include_static_features) {
-    std::vector<double> length(n);
     for (int i = 0; i < n; ++i) {
       const int cap = topology.link_max_units(i);
-      features(i, 1) = cap > 0 ? static_cast<double>(total_units[i]) / cap : 0.0;
-      length[i] = topology.link_length_km(i);
+      out(i, 1) = cap > 0 ? static_cast<double>(total_units[i]) / cap : 0.0;
+      out(i, 2) = topology.link_length_km(i);
+      out(i, 3) = cap > 0 ? static_cast<double>(cap - total_units[i]) / cap : 0.0;
     }
-    z_normalize(length);
-    for (int i = 0; i < n; ++i) {
-      features(i, 2) = length[i];
-      const int cap = topology.link_max_units(i);
-      features(i, 3) =
-          cap > 0 ? static_cast<double>(cap - total_units[i]) / cap : 0.0;
-    }
+    z_normalize(out.data() + 2, static_cast<std::size_t>(n), f);
   }
-  return features;
 }
 
 }  // namespace np::topo

@@ -44,6 +44,14 @@ la::Matrix node_features(const Topology& topology,
                          const std::vector<int>& total_units,
                          bool include_static_features = true);
 
+/// node_features into a caller-owned matrix: `out` is resized on shape
+/// mismatch and written in place otherwise, so a buffer reused across
+/// RL steps (whose shape never changes) costs zero allocations after
+/// the first call. Produces bit-identical values to node_features.
+void node_features_into(const Topology& topology,
+                        const std::vector<int>& total_units,
+                        bool include_static_features, la::Matrix& out);
+
 /// Number of feature columns produced by node_features.
 int feature_dimension(bool include_static_features = true);
 

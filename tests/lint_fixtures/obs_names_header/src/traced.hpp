@@ -1,0 +1,16 @@
+// Deliberately-bad sample for the obs-name rule in a header-only
+// context: spans instrumented inside inline and template functions
+// (the pattern hot-path headers like an inference engine use) must be
+// checked exactly like .cpp call sites — one registered name that must
+// NOT be flagged, one rogue name that must.
+#pragma once
+
+inline void traced_inline() {
+  NP_SPAN("header.registered.span");
+}
+
+template <typename T>
+void traced_template(T& value) {
+  NP_SPAN("header.rogue.span");
+  (void)value;
+}

@@ -53,6 +53,15 @@ TEST(LintTest, ObsNamesFixtureMatchesGolden) {
   expect_fixture("obs_names", options);
 }
 
+// Headers are first-class scan targets: a span instrumented in an
+// inline or template function (the header-only hot-path pattern) must
+// be matched against the registry exactly like a .cpp call site.
+TEST(LintTest, ObsNamesHeaderOnlyFixtureMatchesGolden) {
+  np::lint::Options options;
+  options.obs_names_file = kFixtures / "obs_names_header" / "obs_names.txt";
+  expect_fixture("obs_names_header", options);
+}
+
 TEST(LintTest, FaultSitesFixtureMatchesGolden) {
   np::lint::Options options;
   options.fault_sites_file = kFixtures / "fault_sites" / "fault_sites.txt";

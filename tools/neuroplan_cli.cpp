@@ -25,6 +25,12 @@
 // the rollout worker count for `plan ... neuroplan` (default 1, the
 // bit-reproducible serial path).
 //
+// NEUROPLAN_INFERENCE=fast|tape selects the acting forward path:
+// "fast" (default) uses the tape-free nn::InferenceEngine, "tape" is
+// the escape hatch back to the autodiff forwards. The two are
+// bit-identical in actions and results; the switch exists for
+// debugging and A/B timing, not correctness.
+//
 // Plans are stored one integer per line (added units per link, in link
 // order). Exit code 0 = success / feasible, 1 = failure / infeasible,
 // 2 = usage error.
@@ -66,7 +72,10 @@ int usage() {
                "                [--checkpoint-every N] [--resume <state-file>]\n"
                "  neuroplan_cli report <topo> <plan-file>\n"
                "global flags: [--metrics-out <file.jsonl>]"
-               " [--trace-out <file.json>]\n");
+               " [--trace-out <file.json>]\n"
+               "env: NEUROPLAN_INFERENCE=fast|tape  acting forward path\n"
+               "     (fast = tape-free inference engine, the default;\n"
+               "      tape = autodiff forwards; bit-identical results)\n");
   return 2;
 }
 
