@@ -14,6 +14,7 @@
 #define NP_SNAPSHOT_HAS_FSYNC 0
 #endif
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/fault.hpp"
 
@@ -77,6 +78,8 @@ void write_snapshot_file(const std::string& path, const std::string& kind,
                              "': " + std::strerror(errno));
   }
   saves.add(1);
+  obs::fr_record(obs::FrEventKind::kCheckpointSave, "ckpt.save",
+                 static_cast<long>(payload.size()));
 }
 
 std::string read_snapshot_file(const std::string& path, const std::string& kind) {

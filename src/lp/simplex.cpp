@@ -10,6 +10,7 @@
 #include "lp/factor.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/check.hpp"
 #include "util/fault.hpp"
 #include "util/stopwatch.hpp"
@@ -539,6 +540,10 @@ class Simplex {
     long dual_pivots = 0;
     const long pivot_cap = 4L * m_ + 1000;
     int pivots_since_refactor = 0;
+    // Long-solve liveness for the obs watchdog: one beat per 128
+    // pivots keeps the cost invisible while a genuinely wedged solve
+    // (cycling, numerical livelock) goes quiet and gets flagged.
+    obs::HeartbeatScope heartbeat("hb.lp_solve");
     // Terminal verdicts (optimal / dual ray) are only trusted after the
     // basis has been refactored and the basic values recomputed: the
     // incremental val_ updates drift, and a verdict read off drifted
@@ -556,6 +561,7 @@ class Simplex {
       }
       if (++dual_pivots > pivot_cap) return std::nullopt;
       ++iterations_;
+      if ((iterations_ & 127) == 0) heartbeat.beat(iterations_);
 
       // Leaving variable: the most bound-violated basic.
       int p_leave = -1;
@@ -1177,6 +1183,8 @@ class Simplex {
     // Stale candidate scores from the other phase (different costs) are
     // useless; the list restarts empty.
     reset_candidates();
+    // Watchdog liveness, as in the dual loop above.
+    obs::HeartbeatScope heartbeat("hb.lp_solve");
     for (;;) {
       if (iterations_ >= options_.max_iterations) return SolveStatus::kIterationLimit;
       if (watch.seconds() > options_.time_limit_seconds ||
@@ -1184,6 +1192,7 @@ class Simplex {
         return SolveStatus::kTimeLimit;
       }
       ++iterations_;
+      if ((iterations_ & 127) == 0) heartbeat.beat(iterations_);
 
       compute_duals(y);
       const bool bland = degenerate_streak > 256;
@@ -1464,6 +1473,8 @@ void record_solve_metrics(const Solution& solution) {
   if (solution.status == SolveStatus::kTimeLimit) {
     static obs::Counter& c = obs::counter("lp.deadline_hits");
     c.add(1);
+    obs::fr_record(obs::FrEventKind::kDeadlineHit, "lp.deadline",
+                   solution.iterations);
   } else if (solution.status == SolveStatus::kIterationLimit) {
     static obs::Counter& c = obs::counter("lp.iteration_limit_hits");
     c.add(1);

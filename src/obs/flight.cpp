@@ -1,0 +1,723 @@
+#include "obs/flight.hpp"
+
+#include <cstdlib>
+#include <cstring>
+#include <exception>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define NP_FR_POSIX 1
+#include <fcntl.h>
+#include <signal.h>  // NOLINT: sigaction needs the POSIX header
+#include <unistd.h>
+#else
+#define NP_FR_POSIX 0
+#include <cstdio>
+#endif
+
+namespace np::obs {
+
+namespace {
+
+using fr_detail::ThreadRecord;
+
+constexpr int kMaxThreads = 256;
+constexpr int kNpcrashVersion = 1;
+
+std::atomic<bool> g_enabled{true};
+
+// Honor the kill switch before main() so even static-init spans obey it.
+struct EnvInit {
+  EnvInit() {
+    const char* v = std::getenv("NEUROPLAN_FLIGHT_RECORD");
+    if (v != nullptr &&
+        (std::strcmp(v, "off") == 0 || std::strcmp(v, "0") == 0 ||
+         std::strcmp(v, "false") == 0)) {
+      g_enabled.store(false, std::memory_order_relaxed);
+    }
+  }
+};
+EnvInit g_env_init;
+
+// Thread-slot table: append-only raw pointers published with release
+// stores, so the dump path (a signal handler) can walk it without a
+// lock. Records are leaked — exited threads keep their tails readable.
+std::atomic<int> g_thread_count{0};
+std::atomic<ThreadRecord*> g_threads[kMaxThreads];
+
+thread_local ThreadRecord* t_record = nullptr;
+thread_local bool t_overflowed = false;
+
+// Dump state. The path lives in a fixed buffer so the signal handler
+// never touches heap memory; latches are plain atomics.
+constexpr std::size_t kPathCap = 512;
+char g_path[kPathCap];  // NUL-terminated; "" = unarmed
+std::atomic<bool> g_armed{false};
+std::atomic<bool> g_exit_dump{false};  // only explicit arming requests it
+// 0 = no report yet, 1 = non-fatal report written, 2 = fatal written.
+std::atomic<int> g_dump_class{0};
+std::atomic<int> g_dump_in_progress{0};
+std::atomic<bool> g_handlers_installed{false};
+std::terminate_handler g_prev_terminate = nullptr;
+
+constexpr std::size_t kAnnotationCap = 1024;
+char g_annotation[kAnnotationCap];
+
+void copy_bounded(char* dst, std::size_t cap, const char* src) {
+  std::size_t n = 0;
+  if (src != nullptr) {
+    while (n + 1 < cap && src[n] != '\0') {
+      dst[n] = src[n];
+      ++n;
+    }
+  }
+  dst[n] = '\0';
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe buffered writer: write(2) only, hand-rolled number
+// formatting, fixed stack buffer. Not a general JSON library — just
+// enough to emit the .npcrash document.
+
+class FdWriter {
+ public:
+  explicit FdWriter(int fd) : fd_(fd) {}
+  ~FdWriter() { flush(); }
+  FdWriter(const FdWriter&) = delete;
+  FdWriter& operator=(const FdWriter&) = delete;
+
+  void raw(const char* s, std::size_t n) {
+    for (std::size_t i = 0; i < n; ++i) ch(s[i]);
+  }
+  void str(const char* s) { raw(s, std::strlen(s)); }
+  void ch(char c) {
+    if (used_ == sizeof(buf_)) flush();
+    buf_[used_++] = c;
+  }
+
+  /// Quoted JSON string with the escapes that can actually occur in
+  /// span names, file paths and command lines.
+  void json_str(const char* s) {
+    ch('"');
+    if (s != nullptr) {
+      for (const char* p = s; *p != '\0'; ++p) {
+        const unsigned char c = static_cast<unsigned char>(*p);
+        if (c == '"' || c == '\\') {
+          ch('\\');
+          ch(static_cast<char>(c));
+        } else if (c < 0x20) {
+          // \u00XX for control characters (tabs/newlines included).
+          ch('\\');
+          ch('u');
+          ch('0');
+          ch('0');
+          ch(hex_digit(c >> 4));
+          ch(hex_digit(c & 0xF));
+        } else {
+          ch(static_cast<char>(c));
+        }
+      }
+    }
+    ch('"');
+  }
+
+  void num(long long v) {
+    if (v < 0) {
+      ch('-');
+      // Negate via unsigned to survive LLONG_MIN.
+      num_u(static_cast<unsigned long long>(-(v + 1)) + 1ULL);
+    } else {
+      num_u(static_cast<unsigned long long>(v));
+    }
+  }
+
+  void num_u(unsigned long long v) {
+    char tmp[24];
+    int n = 0;
+    do {
+      tmp[n++] = static_cast<char>('0' + (v % 10));
+      v /= 10;
+    } while (v != 0);
+    while (n > 0) ch(tmp[--n]);
+  }
+
+  /// Doubles without snprintf: fixed-point with up to 6 fractional
+  /// digits in [1e-4, 1e15), hand-rolled scientific outside, null for
+  /// nan/inf (JSON has no spelling for them). ~15 significant digits —
+  /// plenty for timestamps and metric values in a crash report.
+  void num_double(double v) {
+    if (v != v) {  // NaN without <cmath>
+      str("null");
+      return;
+    }
+    if (v < 0) {
+      ch('-');
+      v = -v;
+    }
+    if (v > 1.7976931348623157e308) {  // +inf
+      str("null");
+      return;
+    }
+    if (v == 0.0) {
+      ch('0');
+      return;
+    }
+    if (v >= 1e15 || v < 1e-4) {
+      int exp = 0;
+      while (v >= 10.0) {
+        v /= 10.0;
+        ++exp;
+      }
+      while (v < 1.0) {
+        v *= 10.0;
+        --exp;
+      }
+      fixed(v, 12);
+      ch('e');
+      num(exp);
+      return;
+    }
+    fixed(v, 6);
+  }
+
+  void flush() {
+    if (used_ == 0) return;
+#if NP_FR_POSIX
+    std::size_t off = 0;
+    while (off < used_) {
+      const ssize_t w = ::write(fd_, buf_ + off, used_ - off);
+      if (w <= 0) break;  // EINTR/short write: retry; error: drop rest
+      off += static_cast<std::size_t>(w);
+    }
+#else
+    std::fwrite(buf_, 1, used_, fd_ == 2 ? stderr : stdout);
+#endif
+    used_ = 0;
+  }
+
+ private:
+  static char hex_digit(unsigned v) {
+    return static_cast<char>(v < 10 ? '0' + v : 'a' + (v - 10));
+  }
+
+  /// v in [1, 1e16): integer part exactly via unsigned long long, then
+  /// `frac_digits` fractional digits with trailing zeros trimmed.
+  void fixed(double v, int frac_digits) {
+    const unsigned long long ip = static_cast<unsigned long long>(v);
+    num_u(ip);
+    double frac = v - static_cast<double>(ip);
+    if (frac <= 0.0 || frac_digits <= 0) return;
+    char tmp[16];
+    int n = 0;
+    for (int i = 0; i < frac_digits; ++i) {
+      frac *= 10.0;
+      int d = static_cast<int>(frac);
+      if (d > 9) d = 9;
+      tmp[n++] = static_cast<char>('0' + d);
+      frac -= d;
+    }
+    while (n > 0 && tmp[n - 1] == '0') --n;
+    if (n == 0) return;
+    ch('.');
+    for (int i = 0; i < n; ++i) ch(tmp[i]);
+  }
+
+  int fd_;
+  char buf_[4096];
+  std::size_t used_ = 0;
+};
+
+// Metrics snapshot callbacks (function pointers + context — the crash
+// path cannot afford std::function's possible allocation).
+struct MetricsEmitState {
+  FdWriter* w;
+  bool first_counter = true;
+  bool first_gauge = true;
+  bool first_hist = true;
+};
+
+void emit_counter_cb(void* ctx, const char* name, long value) {
+  auto* s = static_cast<MetricsEmitState*>(ctx);
+  if (!s->first_counter) s->w->ch(',');
+  s->first_counter = false;
+  s->w->json_str(name);
+  s->w->ch(':');
+  s->w->num(value);
+}
+
+void emit_gauge_cb(void* ctx, const char* name, double value) {
+  auto* s = static_cast<MetricsEmitState*>(ctx);
+  if (!s->first_gauge) s->w->ch(',');
+  s->first_gauge = false;
+  s->w->json_str(name);
+  s->w->ch(':');
+  s->w->num_double(value);
+}
+
+void emit_histogram_cb(void* ctx, const char* name, long count, double sum,
+                       double min, double max) {
+  auto* s = static_cast<MetricsEmitState*>(ctx);
+  if (!s->first_hist) s->w->ch(',');
+  s->first_hist = false;
+  s->w->json_str(name);
+  s->w->str(":{\"count\":");
+  s->w->num(count);
+  s->w->str(",\"sum\":");
+  s->w->num_double(sum);
+  s->w->str(",\"min\":");
+  s->w->num_double(min);
+  s->w->str(",\"max\":");
+  s->w->num_double(max);
+  s->w->ch('}');
+}
+
+void write_metrics(FdWriter& w) {
+  MetricsEmitState state{&w};
+  CrashSnapshotVisitor visitor;
+  visitor.ctx = &state;
+  visitor.on_counter = emit_counter_cb;
+  visitor.on_gauge = emit_gauge_cb;
+  visitor.on_histogram = emit_histogram_cb;
+  // Three passes (one per section) so the JSON groups by kind; each
+  // pass re-try_locks, which is fine — contention means we skip.
+  w.str("\"metrics\":");
+  visitor.on_gauge = nullptr;
+  visitor.on_histogram = nullptr;
+  w.str("{\"counters\":{");
+  const bool got = Registry::instance().try_visit_for_crash(visitor);
+  if (!got) {
+    // Registration lock unavailable (likely held by the interrupted
+    // thread): emit a well-formed empty snapshot plus a flag.
+    w.str("},\"gauges\":{},\"histograms\":{}},\"metrics_lock_skipped\":true");
+    return;
+  }
+  visitor.on_counter = nullptr;
+  visitor.on_gauge = emit_gauge_cb;
+  w.str("},\"gauges\":{");
+  Registry::instance().try_visit_for_crash(visitor);
+  visitor.on_gauge = nullptr;
+  visitor.on_histogram = emit_histogram_cb;
+  w.str("},\"histograms\":{");
+  Registry::instance().try_visit_for_crash(visitor);
+  w.str("}},\"metrics_lock_skipped\":false");
+}
+
+void write_thread(FdWriter& w, const ThreadRecord& r) {
+  w.str("{\"tid\":");
+  w.num(r.tid);
+  const std::uint64_t head = r.head.load(std::memory_order_acquire);
+  w.str(",\"events_written\":");
+  w.num_u(head);
+
+  // Active span stack, innermost last. Depth can race past the stored
+  // entries; clamp to what is actually there.
+  int depth = r.span_depth.load(std::memory_order_relaxed);
+  if (depth < 0) depth = 0;
+  if (depth > ThreadRecord::kMaxSpanDepth) depth = ThreadRecord::kMaxSpanDepth;
+  w.str(",\"span_stack\":[");
+  for (int i = 0; i < depth; ++i) {
+    const char* name = r.span_stack[i].load(std::memory_order_relaxed);
+    if (name == nullptr) break;
+    if (i > 0) w.ch(',');
+    w.json_str(name);
+  }
+  w.ch(']');
+
+  const char* hb = r.hb_name.load(std::memory_order_relaxed);
+  if (hb != nullptr) {
+    w.str(",\"heartbeat\":{\"name\":");
+    w.json_str(hb);
+    w.str(",\"progress\":");
+    w.num(r.hb_progress.load(std::memory_order_relaxed));
+    w.str(",\"ts_us\":");
+    w.num_double(r.hb_ts_us.load(std::memory_order_relaxed));
+    w.ch('}');
+  } else {
+    w.str(",\"heartbeat\":null");
+  }
+
+  w.str(",\"events\":[");
+  std::uint64_t n = head < ThreadRecord::kRingCapacity
+                        ? head
+                        : ThreadRecord::kRingCapacity;
+  bool first = true;
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const ThreadRecord::Event& e =
+        r.ring[i & (ThreadRecord::kRingCapacity - 1)];
+    const auto kind =
+        static_cast<FrEventKind>(e.kind.load(std::memory_order_relaxed));
+    const char* name = e.name.load(std::memory_order_relaxed);
+    if (kind == FrEventKind::kNone || name == nullptr) continue;
+    if (!first) w.ch(',');
+    first = false;
+    w.str("{\"ts_us\":");
+    w.num_double(e.ts_us.load(std::memory_order_relaxed));
+    w.str(",\"kind\":");
+    w.json_str(fr_event_kind_name(kind));
+    w.str(",\"name\":");
+    w.json_str(name);
+    w.str(",\"a\":");
+    w.num(e.a.load(std::memory_order_relaxed));
+    w.str(",\"b\":");
+    w.num(e.b.load(std::memory_order_relaxed));
+    w.ch('}');
+  }
+  w.str("]}");
+}
+
+void write_report(int fd, const char* trigger_kind, const char* trigger_name,
+                  const char* trigger_detail) {
+  FdWriter w(fd);
+  w.str("{\"npcrash_version\":");
+  w.num(kNpcrashVersion);
+  w.str(",\"trigger\":{\"kind\":");
+  w.json_str(trigger_kind);
+  w.str(",\"name\":");
+  w.json_str(trigger_name);
+  w.str(",\"detail\":");
+  w.json_str(trigger_detail);
+  w.str(",\"ts_us\":");
+  w.num_double(now_us());
+  ThreadRecord* self = fr_detail::thread_record_or_null();
+  w.str(",\"tid\":");
+  w.num(self != nullptr ? self->tid : 0);
+  w.str("},\"build\":{\"git_rev\":");
+#ifdef NEUROPLAN_GIT_REV
+  w.json_str(NEUROPLAN_GIT_REV);
+#else
+  w.json_str("unknown");
+#endif
+  w.str(",\"checks\":");
+#ifdef NEUROPLAN_ENABLE_CHECKS
+  w.str("true");
+#else
+  w.str("false");
+#endif
+  w.str(",\"faults\":");
+#ifdef NEUROPLAN_ENABLE_FAULTS
+  w.str("true");
+#else
+  w.str("false");
+#endif
+  w.str("},\"pid\":");
+#if NP_FR_POSIX
+  w.num(static_cast<long long>(::getpid()));
+#else
+  w.num(0);
+#endif
+  w.str(",\"annotation\":");
+  w.json_str(g_annotation);
+  w.ch(',');
+  write_metrics(w);
+  w.str(",\"threads\":[");
+  const int count = g_thread_count.load(std::memory_order_acquire);
+  bool first = true;
+  for (int i = 0; i < count && i < kMaxThreads; ++i) {
+    const ThreadRecord* r = g_threads[i].load(std::memory_order_acquire);
+    if (r == nullptr) continue;  // slot claimed, record not published yet
+    if (!first) w.ch(',');
+    first = false;
+    write_thread(w, *r);
+  }
+  w.str("]}\n");
+  w.flush();
+}
+
+/// write(2) a short NUL-free note to stderr (signal-handler logging).
+void stderr_note(const char* a, const char* b, const char* c) {
+#if NP_FR_POSIX
+  FdWriter w(2);
+  w.str(a);
+  w.str(b);
+  w.str(c);
+  w.ch('\n');
+#else
+  std::fprintf(stderr, "%s%s%s\n", a, b, c);
+#endif
+}
+
+bool dump_to_path(const char* path, const char* trigger_kind,
+                  const char* trigger_name, const char* trigger_detail) {
+#if NP_FR_POSIX
+  const int fd = ::open(path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    stderr_note("[np fr] cannot open flight record path ", path, "");
+    return false;
+  }
+  write_report(fd, trigger_kind, trigger_name, trigger_detail);
+  ::close(fd);
+#else
+  std::FILE* f = std::fopen(path, "w");
+  if (f == nullptr) return false;
+  // Non-POSIX fallback is stdio-based and not signal-safe; the crash
+  // handlers are not installed on such platforms anyway.
+  write_report(fileno(f), trigger_kind, trigger_name, trigger_detail);
+  std::fclose(f);
+#endif
+  stderr_note("[np fr] wrote flight record (", trigger_kind, ") — see .npcrash");
+  return true;
+}
+
+#if NP_FR_POSIX
+const char* signal_name(int sig) {
+  switch (sig) {
+    case SIGSEGV:
+      return "SIGSEGV";
+    case SIGABRT:
+      return "SIGABRT";
+    case SIGBUS:
+      return "SIGBUS";
+    case SIGFPE:
+      return "SIGFPE";
+    case SIGILL:
+      return "SIGILL";
+    default:
+      return "signal";
+  }
+}
+
+void crash_signal_handler(int sig) {
+  // One crash dump per process; a recursive fault inside the dump
+  // falls straight through to the default action.
+  if (g_dump_in_progress.exchange(1) == 0) {
+    dump_flight_record("signal", signal_name(sig), "", /*fatal=*/true);
+  }
+  ::signal(sig, SIG_DFL);
+  ::raise(sig);
+}
+#endif
+
+[[noreturn]] void terminate_with_dump() {
+  if (g_dump_in_progress.exchange(1) == 0) {
+    dump_flight_record("terminate", "std::terminate", "", /*fatal=*/true);
+  }
+  if (g_prev_terminate != nullptr) g_prev_terminate();
+  std::abort();
+}
+
+}  // namespace
+
+const char* fr_event_kind_name(FrEventKind kind) {
+  switch (kind) {
+    case FrEventKind::kNone:
+      return "none";
+    case FrEventKind::kSpanBegin:
+      return "span_begin";
+    case FrEventKind::kSpanEnd:
+      return "span_end";
+    case FrEventKind::kContractViolation:
+      return "contract_violation";
+    case FrEventKind::kDeadlineHit:
+      return "deadline_hit";
+    case FrEventKind::kVerdictDegraded:
+      return "verdict_degraded";
+    case FrEventKind::kFaultInjected:
+      return "fault_injected";
+    case FrEventKind::kCheckpointSave:
+      return "checkpoint_save";
+    case FrEventKind::kEpochBoundary:
+      return "epoch_boundary";
+    case FrEventKind::kStall:
+      return "stall";
+    case FrEventKind::kAnnotation:
+      return "annotation";
+  }
+  return "unknown";
+}
+
+bool flight_recorder_enabled() {
+  return g_enabled.load(std::memory_order_relaxed);
+}
+
+void set_flight_recorder_enabled(bool enabled) {
+  g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+namespace fr_detail {
+
+ThreadRecord* thread_record() {
+  if (t_record != nullptr) return t_record;
+  if (t_overflowed) return nullptr;
+  const int idx = g_thread_count.fetch_add(1, std::memory_order_acq_rel);
+  if (idx >= kMaxThreads) {
+    t_overflowed = true;
+    static Counter& overflow = obs::counter("fr.thread_overflow");
+    overflow.add(1);
+    return nullptr;
+  }
+  auto* r = new ThreadRecord();  // leaked: see header
+  r->tid = idx + 1;
+  g_threads[idx].store(r, std::memory_order_release);
+  t_record = r;
+  return r;
+}
+
+ThreadRecord* thread_record_or_null() { return t_record; }
+
+int snapshot_thread_records(ThreadRecord** out, int capacity) {
+  const int count = g_thread_count.load(std::memory_order_acquire);
+  int n = 0;
+  for (int i = 0; i < count && i < kMaxThreads && n < capacity; ++i) {
+    ThreadRecord* r = g_threads[i].load(std::memory_order_acquire);
+    if (r != nullptr) out[n++] = r;
+  }
+  return n;
+}
+
+int max_threads() { return kMaxThreads; }
+
+void fr_span_begin(const char* name) {
+  ThreadRecord* r = thread_record();
+  if (r == nullptr) return;
+  const int depth = r->span_depth.load(std::memory_order_relaxed);
+  if (depth < ThreadRecord::kMaxSpanDepth && depth >= 0) {
+    r->span_stack[depth].store(name, std::memory_order_relaxed);
+  }
+  r->span_depth.store(depth + 1, std::memory_order_relaxed);
+  fr_record(FrEventKind::kSpanBegin, name);
+}
+
+void fr_span_end() {
+  ThreadRecord* r = t_record;
+  if (r == nullptr) return;
+  const int depth = r->span_depth.load(std::memory_order_relaxed);
+  if (depth <= 0) return;
+  r->span_depth.store(depth - 1, std::memory_order_relaxed);
+  const char* name = nullptr;
+  if (depth - 1 < ThreadRecord::kMaxSpanDepth) {
+    name = r->span_stack[depth - 1].load(std::memory_order_relaxed);
+    r->span_stack[depth - 1].store(nullptr, std::memory_order_relaxed);
+  }
+  if (name != nullptr &&
+      g_enabled.load(std::memory_order_relaxed)) {
+    fr_record(FrEventKind::kSpanEnd, name);
+  }
+}
+
+}  // namespace fr_detail
+
+void fr_record(FrEventKind kind, const char* name, long a, long b) {
+  if (!g_enabled.load(std::memory_order_relaxed)) return;
+  ThreadRecord* r = fr_detail::thread_record();
+  if (r == nullptr || name == nullptr) return;
+  const std::uint64_t h = r->head.load(std::memory_order_relaxed);
+  ThreadRecord::Event& e = r->ring[h & (ThreadRecord::kRingCapacity - 1)];
+  e.ts_us.store(now_us(), std::memory_order_relaxed);
+  e.name.store(name, std::memory_order_relaxed);
+  e.a.store(a, std::memory_order_relaxed);
+  e.b.store(b, std::memory_order_relaxed);
+  e.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  r->head.store(h + 1, std::memory_order_release);
+}
+
+void set_flight_record_path(const char* path) {
+  if (path == nullptr || path[0] == '\0') {
+    g_armed.store(false, std::memory_order_relaxed);
+    g_exit_dump.store(false, std::memory_order_relaxed);
+    g_path[0] = '\0';
+    return;
+  }
+  copy_bounded(g_path, kPathCap, path);
+  g_armed.store(true, std::memory_order_release);
+  g_exit_dump.store(true, std::memory_order_relaxed);
+  g_dump_class.store(0, std::memory_order_relaxed);
+}
+
+void install_crash_handlers() {
+#if NP_FR_POSIX
+  if (g_handlers_installed.exchange(true)) return;
+  if (!g_armed.load(std::memory_order_acquire)) {
+    // Implicit crash-only destination in the working directory.
+    char path[64];
+    std::size_t n = 0;
+    const char prefix[] = "np_crash_";
+    for (const char* p = prefix; *p != '\0'; ++p) path[n++] = *p;
+    long pid = static_cast<long>(::getpid());
+    char digits[24];
+    int d = 0;
+    do {
+      digits[d++] = static_cast<char>('0' + pid % 10);
+      pid /= 10;
+    } while (pid != 0);
+    while (d > 0) path[n++] = digits[--d];
+    const char suffix[] = ".npcrash";
+    for (const char* p = suffix; *p != '\0'; ++p) path[n++] = *p;
+    path[n] = '\0';
+    copy_bounded(g_path, kPathCap, path);
+    g_armed.store(true, std::memory_order_release);
+    // crash-only: no exit dump for the implicit path
+    g_exit_dump.store(false, std::memory_order_relaxed);
+  }
+  struct sigaction sa;
+  std::memset(&sa, 0, sizeof(sa));
+  sa.sa_handler = crash_signal_handler;
+  sigemptyset(&sa.sa_mask);
+  sa.sa_flags = 0;
+  const int signals[] = {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL};
+  for (const int sig : signals) sigaction(sig, &sa, nullptr);
+  g_prev_terminate = std::set_terminate(terminate_with_dump);
+#endif
+}
+
+bool flight_record_armed() { return g_armed.load(std::memory_order_acquire); }
+
+const char* flight_record_path() {
+  return g_armed.load(std::memory_order_acquire) ? g_path : "";
+}
+
+bool flight_record_dumped() {
+  return g_dump_class.load(std::memory_order_acquire) != 0;
+}
+
+bool dump_flight_record(const char* trigger_kind, const char* trigger_name,
+                        const char* trigger_detail, bool fatal,
+                        const char* path) {
+  const char* dest = path;
+  if (dest == nullptr) {
+    if (!g_armed.load(std::memory_order_acquire)) return false;
+    dest = g_path;
+    // First trigger wins per class: a fatal report overwrites at most
+    // one earlier non-fatal report, never another fatal one; non-fatal
+    // reports never clobber anything.
+    const int cls = fatal ? 2 : 1;
+    int cur = g_dump_class.load(std::memory_order_acquire);
+    do {
+      if (cur >= cls) return false;
+    } while (!g_dump_class.compare_exchange_weak(cur, cls,
+                                                 std::memory_order_acq_rel));
+  }
+  return dump_to_path(dest, trigger_kind, trigger_name, trigger_detail);
+}
+
+void set_run_annotation(const char* text) {
+  copy_bounded(g_annotation, kAnnotationCap, text);
+}
+
+void fr_on_contract_violation(const char* file, int line, const char* expr) {
+  fr_record(FrEventKind::kContractViolation, file, line);
+  dump_flight_record("contract_violation", file, expr, /*fatal=*/true);
+}
+
+void fr_dump_at_exit() {
+  if (!g_exit_dump.load(std::memory_order_relaxed)) return;
+  dump_flight_record("exit", "flight-record-out", "", /*fatal=*/false);
+}
+
+std::uint64_t fr_total_events() {
+  ThreadRecord* records[kMaxThreads];
+  const int n = fr_detail::snapshot_thread_records(records, kMaxThreads);
+  std::uint64_t total = 0;
+  for (int i = 0; i < n; ++i) {
+    total += records[i]->head.load(std::memory_order_acquire);
+  }
+  return total;
+}
+
+int fr_thread_count() {
+  ThreadRecord* records[kMaxThreads];
+  return fr_detail::snapshot_thread_records(records, kMaxThreads);
+}
+
+}  // namespace np::obs

@@ -1,0 +1,166 @@
+// Black-box flight recorder: an always-on, fixed-capacity, lock-free
+// per-thread ring buffer of structured events, dumped as a versioned
+// *.npcrash JSON report when the process dies (contract violation,
+// fatal signal, std::terminate), when a watchdog escalates a stall, or
+// explicitly at exit (--flight-record-out).
+//
+// Recording discipline: an event costs a thread-local lookup, one
+// clock read and a handful of relaxed atomic stores — no locks, no
+// allocation (after a thread's first event), no syscalls. Every field
+// of a ring slot is a relaxed atomic: the owning thread is the only
+// writer, but the dump path (possibly a signal handler in *another*
+// thread, or the crashing thread itself) reads rings concurrently, so
+// the slots must be tear-free per field. A slot being overwritten
+// while the dump reads it can yield one mixed old/new event at the
+// ring's oldest edge — acceptable in a crash report, never UB.
+//
+// Dump discipline: the dump path is async-signal-safe — write(2) into
+// a small stack buffer, hand-rolled number formatting, no malloc, no
+// stdio, no locks taken unconditionally (the metrics snapshot uses
+// Registry::try_visit_for_crash, which try_locks and is skipped if the
+// interrupted thread held the registration mutex). One report per
+// process: the first fatal trigger wins; non-fatal triggers (watchdog
+// stall, exit dump) never overwrite a fatal report and vice versa a
+// fatal report overwrites a non-fatal one.
+//
+// Layering: np_obs must never link np_util, so this header is std-only
+// (plus the sanctioned header-only util/mutex.hpp — unused here).
+// util/check.cpp and util/fault.cpp call down into fr hooks, which is
+// the allowed direction (np_util links np_obs).
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+namespace np::obs {
+
+/// What a flight-recorder event describes. Values are part of the
+/// .npcrash format (emitted as strings; see fr_event_kind_name).
+enum class FrEventKind : std::uint8_t {
+  kNone = 0,
+  kSpanBegin,
+  kSpanEnd,
+  kContractViolation,
+  kDeadlineHit,
+  kVerdictDegraded,
+  kFaultInjected,
+  kCheckpointSave,
+  kEpochBoundary,
+  kStall,
+  kAnnotation,
+};
+
+/// Stable string for a kind ("span_begin", "stall", ...).
+const char* fr_event_kind_name(FrEventKind kind);
+
+/// Runtime gate, on by default (NEUROPLAN_FLIGHT_RECORD=off|0 disables
+/// at startup). Checked with one relaxed load per event.
+bool flight_recorder_enabled();
+void set_flight_recorder_enabled(bool enabled);
+
+/// Record one event on the calling thread's ring. `name` must outlive
+/// the process (string literal, registry key, or other stable storage)
+/// — rings store the pointer. No-op when disabled.
+void fr_record(FrEventKind kind, const char* name, long a = 0, long b = 0);
+
+namespace fr_detail {
+
+/// Per-thread recorder state. Leaked on purpose: the dump must be able
+/// to read the tail of threads that have already exited (pool workers
+/// from an earlier phase often explain the crash).
+struct ThreadRecord {
+  static constexpr std::size_t kRingCapacity = 512;  // power of two
+  static constexpr int kMaxSpanDepth = 64;
+
+  struct Event {
+    std::atomic<double> ts_us{0.0};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<long> a{0};
+    std::atomic<long> b{0};
+    std::atomic<std::uint8_t> kind{0};
+  };
+
+  int tid = 0;  ///< 1-based registration order (independent of trace tids)
+  /// Total events ever recorded; slot = (head - 1) & (capacity - 1).
+  /// release-stored after the slot fields so readers see whole events.
+  std::atomic<std::uint64_t> head{0};
+  Event ring[kRingCapacity];
+
+  /// Active NP_SPAN stack (entries above kMaxSpanDepth are counted in
+  /// depth but not stored, so deep recursion degrades instead of UB).
+  std::atomic<int> span_depth{0};
+  std::atomic<const char*> span_stack[kMaxSpanDepth];
+
+  /// Watchdog heartbeat published by HeartbeatScope. name == nullptr
+  /// means "no heartbeat armed — do not monitor this thread".
+  std::atomic<const char*> hb_name{nullptr};
+  std::atomic<long> hb_progress{0};
+  std::atomic<double> hb_ts_us{0.0};
+};
+
+/// The calling thread's record, registering it on first use. Returns
+/// nullptr once the process-wide thread-slot table is full (the thread
+/// simply stops recording; fr.thread_overflow counts the loss).
+ThreadRecord* thread_record();
+
+/// The calling thread's record without registering (nullptr if this
+/// thread never recorded) — safe from a signal handler.
+ThreadRecord* thread_record_or_null();
+
+/// Registered records, for the dump and the watchdog monitor. Fills
+/// `out[0..returned)`; capacity of `out` must be >= max_threads().
+int snapshot_thread_records(ThreadRecord** out, int capacity);
+int max_threads();
+
+/// Span-stack hooks used by obs::Span (trace.hpp).
+void fr_span_begin(const char* name);
+void fr_span_end();
+
+}  // namespace fr_detail
+
+// ---------------------------------------------------------------------------
+// Dump triggers and report plumbing.
+
+/// Arm `path` as the report destination and request a non-fatal "exit"
+/// dump from obs::shutdown(). Empty/null disarms. Resets the
+/// one-report-per-process latch (tests re-arm between cases).
+void set_flight_record_path(const char* path);
+
+/// Install SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL and std::terminate
+/// handlers that dump the report and then re-raise the default action.
+/// If no path was armed, arms an implicit "np_crash_<pid>.npcrash" in
+/// the working directory (crash-only: no exit dump). Idempotent.
+void install_crash_handlers();
+
+bool flight_record_armed();
+const char* flight_record_path();  ///< empty string when unarmed
+/// True once a report has been written to the armed path.
+bool flight_record_dumped();
+
+/// Write a complete report to `path` (or the armed path when `path` is
+/// null). `fatal` dumps overwrite earlier non-fatal ones; a second
+/// dump of the same class is skipped (first trigger wins). Returns
+/// true when a report was written. Async-signal-safe when `path` and
+/// the trigger strings are pre-existing (no allocation happens).
+bool dump_flight_record(const char* trigger_kind, const char* trigger_name,
+                        const char* trigger_detail, bool fatal,
+                        const char* path = nullptr);
+
+/// Free-form provenance line embedded in the report (the CLI stores
+/// its command line here). Truncated to an internal fixed buffer.
+void set_run_annotation(const char* text);
+
+/// Hook for util/check.cpp: records a contract-violation event and, if
+/// a path is armed, writes a fatal report before the exception unwinds.
+void fr_on_contract_violation(const char* file, int line, const char* expr);
+
+/// Non-fatal "exit" dump if set_flight_record_path() armed one and no
+/// report exists yet. Called by obs::shutdown().
+void fr_dump_at_exit();
+
+// Test/introspection helpers.
+std::uint64_t fr_total_events();  ///< sum of ring heads over all threads
+int fr_thread_count();            ///< registered recorder threads
+
+}  // namespace np::obs

@@ -188,6 +188,28 @@ std::string Registry::snapshot_json() const {
   return out;
 }
 
+bool Registry::try_visit_for_crash(const CrashSnapshotVisitor& visitor) const {
+  if (!mutex_.try_lock()) return false;
+  if (visitor.on_counter != nullptr) {
+    for (const auto& [name, c] : counters_) {
+      visitor.on_counter(visitor.ctx, name.c_str(), c->value());
+    }
+  }
+  if (visitor.on_gauge != nullptr) {
+    for (const auto& [name, g] : gauges_) {
+      visitor.on_gauge(visitor.ctx, name.c_str(), g->value());
+    }
+  }
+  if (visitor.on_histogram != nullptr) {
+    for (const auto& [name, h] : histograms_) {
+      visitor.on_histogram(visitor.ctx, name.c_str(), h->count(), h->sum(),
+                           h->min(), h->max());
+    }
+  }
+  mutex_.unlock();
+  return true;
+}
+
 void Registry::reset() {
   util::LockGuard lock(mutex_);
   for (auto& [name, c] : counters_) c->reset();

@@ -100,6 +100,18 @@ class Histogram {
 /// the previous — the usual latency-histogram layout.
 std::vector<double> exponential_buckets(double start, double factor, int count);
 
+/// Allocation-free instrument visitor for the flight-recorder crash
+/// dump (obs/flight.cpp). Function pointers + context, not
+/// std::function: the crash path cannot risk an allocation. Null
+/// callbacks skip that instrument class.
+struct CrashSnapshotVisitor {
+  void* ctx = nullptr;
+  void (*on_counter)(void* ctx, const char* name, long value) = nullptr;
+  void (*on_gauge)(void* ctx, const char* name, double value) = nullptr;
+  void (*on_histogram)(void* ctx, const char* name, long count, double sum,
+                       double min, double max) = nullptr;
+};
+
 /// Named instrument store. `instance()` is the process-wide registry;
 /// separate instances are constructible for tests. Registration takes
 /// the mutex; instruments are never destroyed or moved afterwards.
@@ -128,6 +140,14 @@ class Registry {
   /// Zero every instrument (registrations are kept, references stay
   /// valid). For tests and between bench configurations.
   void reset() NP_EXCLUDES(mutex_);
+
+  /// Crash-dump snapshot: visits every registered instrument without
+  /// allocating, under try_lock, so a dump running inside a signal
+  /// handler can never deadlock against a registration the interrupted
+  /// thread had in flight. Returns false — visiting nothing — when the
+  /// lock is unavailable; the report then marks the snapshot skipped.
+  bool try_visit_for_crash(const CrashSnapshotVisitor& visitor) const
+      NP_EXCLUDES(mutex_);
 
  private:
   // Instruments are held by unique_ptr inside node-based maps, so the

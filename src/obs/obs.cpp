@@ -3,6 +3,8 @@
 #include <cstdio>
 #include <cstdlib>
 
+#include "obs/flight.hpp"
+#include "obs/watchdog.hpp"
 #include "util/mutex.hpp"
 
 namespace np::obs {
@@ -36,6 +38,9 @@ void configure_from_env() {
   if (trace != nullptr && trace[0] != '\0') set_trace_out(trace);
   const char* metrics = std::getenv("NEUROPLAN_METRICS_OUT");
   if (metrics != nullptr && metrics[0] != '\0') set_metrics_out(metrics);
+  const char* flight = std::getenv("NEUROPLAN_FLIGHT_RECORD_OUT");
+  if (flight != nullptr && flight[0] != '\0') set_flight_record_path(flight);
+  configure_watchdog_from_env();
 }
 
 void set_trace_out(std::string path) {
@@ -74,6 +79,10 @@ void emit_metrics_record(const char* record, long index) {
 }
 
 void shutdown() {
+  // Join the watchdog monitor before tearing sinks down; the explicit
+  // --flight-record-out exit dump happens after the final metrics
+  // record below so the report carries the run's closing counters.
+  Watchdog::instance().stop();
   util::LockGuard lock(g_sink_mutex);
   if (!g_trace_path.empty()) {
     std::FILE* out = std::fopen(g_trace_path.c_str(), "w");
@@ -100,6 +109,7 @@ void shutdown() {
     g_metrics_out = nullptr;
     set_detail_enabled(false);
   }
+  fr_dump_at_exit();
 }
 
 }  // namespace np::obs

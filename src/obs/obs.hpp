@@ -4,12 +4,16 @@
 //
 // Lifecycle (what neuroplan_cli and the benches do):
 //
-//   obs::configure_from_env();          // NEUROPLAN_{TRACE,METRICS}_OUT
+//   obs::configure_from_env();          // NEUROPLAN_{TRACE,METRICS,
+//                                       //   FLIGHT_RECORD}_OUT + watchdog
 //   obs::set_trace_out(path);           // or explicit flags, override env
 //   obs::set_metrics_out(path);
+//   obs::set_flight_record_path(path);  // arm the .npcrash destination
+//   obs::install_crash_handlers();      // fatal-signal / terminate dumps
 //   ... instrumented work; the trainer calls
 //   obs::emit_metrics_record("train_epoch", epoch) once per iteration ...
-//   obs::shutdown();                    // flush trace + final record
+//   obs::shutdown();                    // flush trace + final record,
+//                                       // stop watchdog, exit flight dump
 //
 // Everything is a no-op when no output was configured, so library code
 // can emit records unconditionally.
@@ -17,8 +21,10 @@
 
 #include <string>
 
-#include "obs/metrics.hpp"  // IWYU pragma: export
-#include "obs/trace.hpp"    // IWYU pragma: export
+#include "obs/flight.hpp"    // IWYU pragma: export
+#include "obs/metrics.hpp"   // IWYU pragma: export
+#include "obs/trace.hpp"     // IWYU pragma: export
+#include "obs/watchdog.hpp"  // IWYU pragma: export
 
 namespace np::obs {
 

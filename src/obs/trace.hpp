@@ -31,6 +31,8 @@
 #include <cstddef>
 #include <cstdio>
 
+#include "obs/flight.hpp"
+
 namespace np::obs {
 
 /// Microseconds since process start (steady clock) — the trace
@@ -74,15 +76,27 @@ void record_aggregate_span(const char* name, double duration_us);
 
 /// RAII complete-event span. `name` must be a string literal (or
 /// otherwise outlive the export) — spans store the pointer, not a copy.
+///
+/// Besides the Chrome-trace event, a span feeds the flight recorder
+/// (obs/flight.hpp): begin/end events on the thread's ring plus an
+/// active-span-stack push/pop, so a crash report shows where every
+/// thread was. The recorder is on by default; with it off a span is
+/// back to one relaxed load per gate.
 class Span {
  public:
   explicit Span(const char* name)
       : name_(tracing_enabled() ? name : nullptr),
-        start_us_(name_ != nullptr ? now_us() : 0.0) {}
+        start_us_(name_ != nullptr ? now_us() : 0.0),
+        fr_name_(flight_recorder_enabled() ? name : nullptr) {
+    if (fr_name_ != nullptr) fr_detail::fr_span_begin(fr_name_);
+  }
   ~Span() {
     if (name_ != nullptr) {
       detail::record_span(detail::thread_buffer(), name_, start_us_, now_us());
     }
+    // Pop unconditionally once pushed — the recorder gate may have
+    // flipped mid-span and the stack must stay balanced.
+    if (fr_name_ != nullptr) fr_detail::fr_span_end();
   }
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
@@ -90,6 +104,7 @@ class Span {
  private:
   const char* name_;
   double start_us_;
+  const char* fr_name_;
 };
 
 }  // namespace np::obs

@@ -1,0 +1,232 @@
+#include "obs/watchdog.hpp"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.hpp"
+#include "obs/trace.hpp"
+#include "util/mutex.hpp"
+
+namespace np::obs {
+
+namespace {
+
+using fr_detail::ThreadRecord;
+
+Counter& stalls_counter() {
+  static Counter& c = obs::counter("watchdog.stalls");
+  return c;
+}
+
+Counter& scans_counter() {
+  static Counter& c = obs::counter("watchdog.scans");
+  return c;
+}
+
+/// Monitor-thread-only bookkeeping per thread slot: the last observed
+/// heartbeat and whether the current stall episode was already flagged
+/// (one stall event per episode, re-armed by any progress).
+struct SlotState {
+  const char* name = nullptr;
+  long progress = 0;
+  double ts_us = 0.0;
+  bool flagged = false;
+};
+
+double clamp(double v, double lo, double hi) {
+  return v < lo ? lo : (v > hi ? hi : v);
+}
+
+}  // namespace
+
+HeartbeatScope::HeartbeatScope(const char* name)
+    : record_(fr_detail::thread_record()),
+      prev_name_(nullptr),
+      prev_progress_(0) {
+  if (record_ == nullptr) return;
+  prev_name_ = record_->hb_name.load(std::memory_order_relaxed);
+  prev_progress_ = record_->hb_progress.load(std::memory_order_relaxed);
+  record_->hb_progress.store(0, std::memory_order_relaxed);
+  record_->hb_ts_us.store(now_us(), std::memory_order_relaxed);
+  // Name last: the monitor treats a non-null name as "armed", so the
+  // other fields must already be fresh when it appears.
+  record_->hb_name.store(name, std::memory_order_release);
+}
+
+HeartbeatScope::~HeartbeatScope() {
+  if (record_ == nullptr) return;
+  record_->hb_progress.store(prev_progress_, std::memory_order_relaxed);
+  // Re-stamp: the outer scope was implicitly progressing while the
+  // inner one ran; it must not inherit the inner section's elapsed time.
+  record_->hb_ts_us.store(now_us(), std::memory_order_relaxed);
+  record_->hb_name.store(prev_name_, std::memory_order_release);
+}
+
+void HeartbeatScope::beat(long progress) {
+  if (record_ == nullptr) return;
+  const long next =
+      progress >= 0
+          ? progress
+          : record_->hb_progress.load(std::memory_order_relaxed) + 1;
+  record_->hb_progress.store(next, std::memory_order_relaxed);
+  record_->hb_ts_us.store(now_us(), std::memory_order_relaxed);
+}
+
+struct Watchdog::Impl {
+  util::Mutex mutex;
+  util::CondVar cv;
+  bool running NP_GUARDED_BY(mutex) = false;
+  bool stop_requested NP_GUARDED_BY(mutex) = false;
+  WatchdogConfig config NP_GUARDED_BY(mutex);
+  /// Touched only from start()/stop(), which callers serialize (the
+  /// CLI and tests drive the watchdog from one thread).
+  std::thread thread;
+
+  void monitor_loop();
+};
+
+Watchdog::Impl& Watchdog::impl() const {
+  static Impl* i = new Impl();  // leaked: may outlive main, like the registry
+  return *i;
+}
+
+Watchdog& Watchdog::instance() {
+  static Watchdog w;
+  return w;
+}
+
+namespace {
+
+void report_stall(const ThreadRecord& r, const char* name, long progress,
+                  double age_s, bool dump_on_stall) {
+  fr_record(FrEventKind::kStall, name, r.tid, progress);
+  stalls_counter().add(1);
+  // fprintf, not util/log: np_obs must not link np_util.
+  std::fprintf(stderr,
+               "[np watchdog] stall: tid=%d heartbeat '%s' progress=%ld "
+               "no beat for %.1fs; span stack:",
+               r.tid, name, progress, age_s);
+  int depth = r.span_depth.load(std::memory_order_relaxed);
+  if (depth > ThreadRecord::kMaxSpanDepth) depth = ThreadRecord::kMaxSpanDepth;
+  bool any = false;
+  for (int i = 0; i < depth; ++i) {
+    const char* frame = r.span_stack[i].load(std::memory_order_relaxed);
+    if (frame == nullptr) break;
+    std::fprintf(stderr, "%s %s", any ? " >" : "", frame);
+    any = true;
+  }
+  std::fprintf(stderr, "%s\n", any ? "" : " (empty)");
+  if (dump_on_stall) {
+    dump_flight_record("watchdog_stall", name, "", /*fatal=*/false);
+  }
+}
+
+void scan_once(std::vector<SlotState>& slots, const WatchdogConfig& cfg) {
+  scans_counter().add(1);
+  const int capacity = fr_detail::max_threads();
+  if (static_cast<int>(slots.size()) < capacity) slots.resize(capacity);
+  std::vector<ThreadRecord*> records(capacity);
+  const int n = fr_detail::snapshot_thread_records(records.data(), capacity);
+  const double now = now_us();
+  for (int i = 0; i < n; ++i) {
+    ThreadRecord& r = *records[i];
+    const int slot = r.tid - 1;
+    if (slot < 0 || slot >= capacity) continue;
+    SlotState& s = slots[slot];
+    const char* name = r.hb_name.load(std::memory_order_acquire);
+    if (name == nullptr) {
+      s = SlotState{};  // unmonitored: nothing armed
+      continue;
+    }
+    const long progress = r.hb_progress.load(std::memory_order_relaxed);
+    const double ts = r.hb_ts_us.load(std::memory_order_relaxed);
+    if (s.name != name || s.progress != progress || s.ts_us != ts) {
+      // Beat (or new scope) since the last scan: episode re-armed.
+      s.name = name;
+      s.progress = progress;
+      s.ts_us = ts;
+      s.flagged = false;
+      continue;
+    }
+    if (s.flagged) continue;
+    const double age_s = (now - ts) / 1e6;
+    if (age_s > cfg.stall_seconds) {
+      s.flagged = true;
+      report_stall(r, name, progress, age_s, cfg.dump_on_stall);
+    }
+  }
+}
+
+}  // namespace
+
+void Watchdog::Impl::monitor_loop() {
+  std::vector<SlotState> slots;
+  for (;;) {
+    WatchdogConfig cfg;
+    {
+      util::LockGuard lock(mutex);
+      if (stop_requested) break;
+      cfg = config;
+      const double poll = cfg.poll_seconds > 0.0
+                              ? cfg.poll_seconds
+                              : clamp(cfg.stall_seconds / 4.0, 0.01, 5.0);
+      cv.wait_for(mutex, std::chrono::duration<double>(poll));
+      if (stop_requested) break;
+      cfg = config;
+    }
+    scan_once(slots, cfg);
+  }
+}
+
+void Watchdog::start(const WatchdogConfig& config) {
+  Impl& i = impl();
+  stop();  // join any previous monitor before restarting with new config
+  {
+    util::LockGuard lock(i.mutex);
+    i.config = config;
+    i.stop_requested = false;
+    i.running = true;
+  }
+  i.thread = std::thread([&i] { i.monitor_loop(); });
+}
+
+void Watchdog::stop() {
+  Impl& i = impl();
+  {
+    util::LockGuard lock(i.mutex);
+    if (!i.running) return;
+    i.stop_requested = true;
+    i.cv.notify_all();
+  }
+  i.thread.join();
+  util::LockGuard lock(i.mutex);
+  i.running = false;
+}
+
+bool Watchdog::running() const {
+  Impl& i = impl();
+  util::LockGuard lock(i.mutex);
+  return i.running;
+}
+
+long Watchdog::stalls_flagged() const { return stalls_counter().value(); }
+
+void configure_watchdog_from_env() {
+  // std::getenv/strtod, not util/env.hpp: layering (see metrics.hpp).
+  const char* v = std::getenv("NEUROPLAN_WATCHDOG");
+  if (v == nullptr || v[0] == '\0') return;
+  const double stall_s = std::strtod(v, nullptr);
+  if (stall_s <= 0.0) return;
+  WatchdogConfig config;
+  config.stall_seconds = stall_s;
+  const char* dump = std::getenv("NEUROPLAN_WATCHDOG_DUMP");
+  config.dump_on_stall =
+      dump != nullptr && dump[0] != '\0' && std::strcmp(dump, "0") != 0;
+  Watchdog::instance().start(config);
+}
+
+}  // namespace np::obs

@@ -6,6 +6,7 @@
 
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/fault.hpp"
 
 namespace np::plan {
@@ -60,9 +61,14 @@ CheckResult ParallelPlanEvaluator::check(const std::vector<int>& total_units) {
     // One span per scenario group — on the pool's worker threads, so a
     // trace shows the per-thread overlap (and any straggler group).
     NP_SPAN("plan.scenario_group");
+    // Watchdog liveness: one beat per scenario. A worker wedged inside
+    // a single scenario solve (or a stall fault) goes quiet here and
+    // the monitor flags it with this thread's span stack.
+    obs::HeartbeatScope heartbeat("hb.plan_worker");
     try {
       for (std::size_t k = 0; k < groups_[t].size(); ++k) {
         if (cancel.load(std::memory_order_relaxed)) return;
+        heartbeat.beat(static_cast<long>(k));
         NP_FAULT_POINT("plan.worker");
         const int scenario = groups_[t][k];
         if (!cached_[t][k].has_value()) {

@@ -233,9 +233,13 @@ ScenarioCheck solve_scenario(ScenarioLp& lp, const lp::SimplexOptions& base_opti
     check.unserved_gbps = lp.total_demand;
     static obs::Counter& unknown_verdicts = obs::counter("plan.unknown_verdicts");
     unknown_verdicts.add(1);
+    obs::fr_record(obs::FrEventKind::kVerdictDegraded, "plan.solve_scenario",
+                   solution.iterations, check.deadline_hit ? 1 : 0);
     if (check.deadline_hit) {
       static obs::Counter& deadline_hits = obs::counter("plan.deadline_hits");
       deadline_hits.add(1);
+      obs::fr_record(obs::FrEventKind::kDeadlineHit, "plan.deadline",
+                     solution.iterations);
     }
     return check;
   }

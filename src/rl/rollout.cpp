@@ -8,6 +8,7 @@
 #include "ad/tape.hpp"
 #include "obs/metrics.hpp"
 #include "obs/trace.hpp"
+#include "obs/watchdog.hpp"
 #include "util/fault.hpp"
 
 namespace np::rl {
@@ -179,7 +180,11 @@ WorkerRollout RolloutWorkers::collect_serial(PlanningEnv& env, Rng& rng,
   std::vector<std::uint8_t>& mask = mask_buffers_[0];
 
   env.reset();
+  // Watchdog liveness: one beat per env step (each step is an LP-backed
+  // plan evaluation, so a quiet heartbeat means a wedged solve).
+  obs::HeartbeatScope heartbeat("hb.rollout_step");
   while (static_cast<int>(rollout.records.size()) < steps) {
+    heartbeat.beat(static_cast<long>(rollout.records.size()));
     StepRecord record;
     env.features_into(features);
     env.action_mask_into(mask);
@@ -277,7 +282,12 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
   std::vector<std::vector<std::uint8_t>>& masks = mask_buffers_;
   std::vector<StepResult> results(k);
 
+  // Round-loop liveness on the coordinating thread; the pool workers
+  // publish their own per-step heartbeats inside the step tasks.
+  obs::HeartbeatScope heartbeat("hb.rollout_step");
+  long round = 0;
   for (;;) {
+    heartbeat.beat(round++);
     active.clear();
     for (int w = 0; w < k; ++w) {
       if (static_cast<int>(rollouts[w].records.size()) < quota[w]) active.push_back(w);
@@ -361,6 +371,7 @@ std::vector<WorkerRollout> RolloutWorkers::collect_lockstep(int total_steps) {
       for (int w : active) {
         const int action = rollouts[w].records.back().action;
         tasks.push_back([this, w, action, &results] {
+          obs::HeartbeatScope step_heartbeat("hb.rollout_step");
           NP_FAULT_POINT("rollout.step");
           results[w] = envs_[w]->step(action);
         });

@@ -141,6 +141,10 @@ EpochStats A2cTrainer::run_epoch() {
   if (obs::metrics_out_open()) {
     obs::emit_metrics_record("train_epoch", stats.epoch);
   }
+  // Flight-recorder waypoint: epoch boundaries anchor a post-mortem
+  // timeline ("the crash was 3 events after epoch 12 ended").
+  obs::fr_record(obs::FrEventKind::kEpochBoundary, "train.epoch", stats.epoch,
+                 stats.steps);
   return stats;
 }
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/flight.hpp"
 #include "util/log.hpp"
 
 namespace np::util {
@@ -16,6 +17,10 @@ void contract_failure(const char* kind, const char* expr, const char* file,
                                        ":", line);
   if (!detail.empty()) message += detail::concat(" — ", detail);
   log_error(message);
+  // Flight recorder: log the violation event and, when a .npcrash path
+  // is armed, write the fatal report *before* the unwind destroys the
+  // violating frame's state (the message is still at hand here).
+  obs::fr_on_contract_violation(file, line, expr);
   throw ContractViolation(message);
 }
 
@@ -25,6 +30,10 @@ namespace {
   const std::string message =
       detail::concat("NP_CHECK failed in ", where, ": ", detail);
   log_error(message);
+  // `where` is a call-site string literal, so it is stable storage for
+  // the flight-recorder ring; the dynamic detail goes into the report's
+  // trigger section only.
+  obs::fr_on_contract_violation(where, 0, detail.c_str());
   throw ContractViolation(message);
 }
 

@@ -1,9 +1,13 @@
 #include "util/fault.hpp"
 
 #include <atomic>
+#include <chrono>
 #include <map>
+#include <set>
 #include <sstream>
+#include <thread>
 
+#include "obs/flight.hpp"
 #include "obs/metrics.hpp"
 #include "util/env.hpp"
 #include "util/log.hpp"
@@ -19,6 +23,17 @@ namespace {
 obs::Counter& injected_counter() {
   static obs::Counter& c = obs::counter("fault.injected");
   return c;
+}
+
+/// Interned copy of a site name with process lifetime: the flight
+/// recorder stores raw pointers in its rings, which must stay valid
+/// after disarm_all() clears the site map. Fires are rare, so the
+/// leaked set stays tiny.
+const char* stable_site_name(const std::string& site) {
+  static std::set<std::string>* names = new std::set<std::string>();
+  static Mutex mutex;
+  LockGuard lock(mutex);
+  return names->insert(site).first->c_str();
 }
 
 }  // namespace
@@ -97,6 +112,10 @@ void FaultInjector::configure_from_env() {
         spec.nth_call = std::stol(value);
       } else if (kind == "p") {
         spec.probability = std::stod(value);
+      } else if (kind == "stall") {
+        // Wedge instead of throw: first call sleeps <value> ms.
+        spec.stall_ms = std::stol(value);
+        spec.nth_call = 1;
       } else {
         log_warn("fault: ignoring unknown trigger kind '", kind, "' in '", entry,
                  "'");
@@ -134,11 +153,24 @@ bool FaultInjector::should_fire(const std::string& site) {
 }
 
 void FaultInjector::on_site(const std::string& site) {
-  if (should_fire(site)) {
-    injected_counter().add(1);
-    log_warn("fault: injecting failure at '", site, "'");
-    throw InjectedFault(site);
+  if (!should_fire(site)) return;
+  injected_counter().add(1);
+  long stall_ms = 0;
+  {
+    Impl& i = impl();
+    LockGuard lock(i.mutex);
+    const auto it = i.sites.find(site);
+    if (it != i.sites.end()) stall_ms = it->second.spec.stall_ms;
   }
+  obs::fr_record(obs::FrEventKind::kFaultInjected, stable_site_name(site), 0,
+                 stall_ms);
+  if (stall_ms > 0) {
+    log_warn("fault: stalling for ", stall_ms, " ms at '", site, "'");
+    std::this_thread::sleep_for(std::chrono::milliseconds(stall_ms));
+    return;
+  }
+  log_warn("fault: injecting failure at '", site, "'");
+  throw InjectedFault(site);
 }
 
 long FaultInjector::triggered(const std::string& site) const {

@@ -50,6 +50,12 @@ class InjectedFault : public std::runtime_error {
 struct FaultSpec {
   double probability = 0.0;
   long nth_call = 0;
+  /// > 0 changes the fired site's *action* from "throw InjectedFault"
+  /// to "sleep this many milliseconds and continue" — a wedged-worker
+  /// simulator: the thread stops making progress without dying, which
+  /// is exactly what the obs watchdog exists to flag. Trigger
+  /// selection (nth/probability) is unchanged.
+  long stall_ms = 0;
 };
 
 class FaultInjector {
@@ -66,7 +72,8 @@ class FaultInjector {
   /// Reseed the Bernoulli stream (deterministic chaos runs).
   void reseed(std::uint64_t seed);
 
-  /// Parse NEUROPLAN_FAULT_SITES ("site=nth:3;other=p:0.01") and
+  /// Parse NEUROPLAN_FAULT_SITES ("site=nth:3;other=p:0.01;
+  /// third=stall:500" — stall arms a first-call 500 ms wedge) and
   /// NEUROPLAN_FAULT_SEED. Unset variables leave the injector disarmed.
   void configure_from_env();
 

@@ -30,6 +30,7 @@
 // the analysis.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <mutex>
 
@@ -117,6 +118,17 @@ class CondVar {
     // back to the caller's LockGuard so it is not unlocked twice.
     std::unique_lock<std::mutex> lock(mutex.native_handle(), std::adopt_lock);
     cv_.wait(lock);
+    lock.release();
+  }
+
+  /// Timed wait: returns after `timeout`, a notification, or a spurious
+  /// wakeup — callers loop on their predicate either way (the watchdog
+  /// monitor is the canonical user: poll interval + prompt shutdown).
+  template <class Rep, class Period>
+  void wait_for(Mutex& mutex, const std::chrono::duration<Rep, Period>& timeout)
+      NP_REQUIRES(mutex) {
+    std::unique_lock<std::mutex> lock(mutex.native_handle(), std::adopt_lock);
+    cv_.wait_for(lock, timeout);
     lock.release();
   }
 

@@ -1,0 +1,23 @@
+// obs-nesting fixture: good.inner opens under its declared parent
+// (clean), strict.child opens once under its declared other.parent
+// (clean) and once under good.outer (the golden violation).
+void ok_function() {
+  NP_SPAN("good.outer");
+  {
+    NP_SPAN("good.inner");
+  }
+}
+
+void other_ok() {
+  NP_SPAN("other.parent");
+  {
+    NP_SPAN("strict.child");
+  }
+}
+
+void bad_function() {
+  NP_SPAN("good.outer");
+  {
+    NP_SPAN("strict.child");
+  }
+}

@@ -62,6 +62,16 @@ TEST(LintTest, ObsNamesHeaderOnlyFixtureMatchesGolden) {
   expect_fixture("obs_names_header", options);
 }
 
+// Span-nesting hierarchy: `parent > child` registry lines constrain
+// where a child span may lexically open. The fixture also carries an
+// edge naming an unregistered span, which must be diagnosed rather
+// than silently never firing.
+TEST(LintTest, ObsNestingFixtureMatchesGolden) {
+  np::lint::Options options;
+  options.obs_names_file = kFixtures / "obs_nesting" / "obs_names.txt";
+  expect_fixture("obs_nesting", options);
+}
+
 TEST(LintTest, FaultSitesFixtureMatchesGolden) {
   np::lint::Options options;
   options.fault_sites_file = kFixtures / "fault_sites" / "fault_sites.txt";

@@ -16,8 +16,13 @@
 //                                record per training epoch + a final one)
 //   --trace-out <file.json>      Chrome trace-event JSON of NP_SPAN
 //                                scopes, loadable in Perfetto
-// The NEUROPLAN_METRICS_OUT / NEUROPLAN_TRACE_OUT environment variables
-// set the same outputs; the flags win when both are given.
+//   --flight-record-out <file.npcrash>
+//                                flight-recorder dump at exit (crashes
+//                                and contract violations dump here too;
+//                                inspect with np_postmortem)
+// The NEUROPLAN_METRICS_OUT / NEUROPLAN_TRACE_OUT /
+// NEUROPLAN_FLIGHT_RECORD_OUT environment variables set the same
+// outputs; the flags win when both are given.
 //
 // `plan ... neuroplan` honors NEUROPLAN_AGENT=<ckpt>: the agent loads
 // the checkpoint before (briefly) fine-tuning, so trained policies are
@@ -53,6 +58,7 @@
 #include "topo/generator.hpp"
 #include "topo/serialize.hpp"
 #include "util/env.hpp"
+#include "util/fault.hpp"
 #include "util/log.hpp"
 
 namespace {
@@ -73,6 +79,7 @@ int usage() {
                "  neuroplan_cli report <topo> <plan-file>\n"
                "global flags: [--metrics-out <file.jsonl>]"
                " [--trace-out <file.json>]\n"
+               "              [--flight-record-out <file.npcrash>]\n"
                "env: NEUROPLAN_INFERENCE=fast|tape  acting forward path\n"
                "     (fast = tape-free inference engine, the default;\n"
                "      tape = autodiff forwards; bit-identical results)\n");
@@ -315,23 +322,40 @@ int cmd_report(int argc, char** argv) {
 int main(int argc, char** argv) {
   set_log_level(LogLevel::kWarn);
   obs::configure_from_env();
+  // Chaos runs: NEUROPLAN_FAULT_SITES arms fault points (no-op unless
+  // built with NEUROPLAN_FAULTS=ON; crash-forensics CI relies on it).
+  util::FaultInjector::instance().configure_from_env();
+  // Flight-recorder provenance: the full command line, captured before
+  // any stripping, so a post-mortem shows exactly how the run started.
+  {
+    std::string cmdline;
+    for (int i = 0; i < argc; ++i) {
+      if (i > 0) cmdline += ' ';
+      cmdline += argv[i];
+    }
+    obs::set_run_annotation(cmdline.c_str());
+  }
   // Strip the global observability flags before command dispatch so
   // subcommand parsers (which reject unknown flags) never see them.
   std::vector<char*> args;
   args.reserve(argc);
   for (int i = 0; i < argc; ++i) {
     const std::string arg = argv[i];
-    if (arg == "--metrics-out" || arg == "--trace-out") {
+    if (arg == "--metrics-out" || arg == "--trace-out" ||
+        arg == "--flight-record-out") {
       if (i + 1 >= argc) return usage();
       if (arg == "--metrics-out") {
         obs::set_metrics_out(argv[++i]);
-      } else {
+      } else if (arg == "--trace-out") {
         obs::set_trace_out(argv[++i]);
+      } else {
+        obs::set_flight_record_path(argv[++i]);
       }
       continue;
     }
     args.push_back(argv[i]);
   }
+  obs::install_crash_handlers();
   argc = static_cast<int>(args.size());
   argv = args.data();
   if (argc < 2) return usage();
@@ -347,6 +371,10 @@ int main(int argc, char** argv) {
     else rc = usage();
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());
+    // The process survives (clean error exit), but the run is dead —
+    // dump the black box before the evidence goes away with it.
+    obs::dump_flight_record("unhandled_exception", "main", e.what(),
+                            /*fatal=*/true);
     rc = 1;
   }
   obs::shutdown();  // write the trace file + final metrics record

@@ -281,6 +281,82 @@ void extract_names(const SourceFile& file, const std::regex& call_re,
   }
 }
 
+/// obs-nesting scan over one file: walk the token view's brace
+/// structure while matching NP_SPAN call sites in the code view (the
+/// two views are position-aligned by construction). A span opened at
+/// brace depth d stays "active" until its enclosing block closes, so a
+/// later span opened while it is active is its lexical child — the
+/// same parent/child the RAII Span objects produce at runtime, as long
+/// as the child's scope is lexically inside (true for nested blocks
+/// and the in-function lambdas the thread pools run). A child with
+/// declared parents must only ever appear under one of them.
+void check_span_nesting(
+    const SourceFile& file,
+    const std::map<std::string, std::set<std::string>>& parents_of,
+    const std::string& registry_name, std::vector<Diagnostic>& out) {
+  static const std::regex kSpanRe("\\bNP_SPAN\\s*\\(\\s*\"([^\"]*)\"");
+  std::string code, tokens;
+  for (const std::string& line : file.views.code) {
+    code += line;
+    code += '\n';
+  }
+  for (const std::string& line : file.views.tokens) {
+    tokens += line;
+    tokens += '\n';
+  }
+  struct Site {
+    std::size_t offset = 0;
+    std::string name;
+  };
+  std::vector<Site> sites;
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kSpanRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    sites.push_back(
+        Site{static_cast<std::size_t>(it->position(0)), (*it)[1].str()});
+  }
+  if (sites.empty()) return;
+
+  struct Open {
+    int depth = 0;
+    std::string name;
+  };
+  std::vector<Open> stack;
+  int depth = 0;
+  std::size_t next_site = 0;
+  for (std::size_t i = 0; i < tokens.size(); ++i) {
+    if (next_site < sites.size() && sites[next_site].offset == i) {
+      const Site& site = sites[next_site++];
+      if (!stack.empty()) {
+        const auto it = parents_of.find(site.name);
+        if (it != parents_of.end() &&
+            it->second.count(stack.back().name) == 0) {
+          const int line = 1 + static_cast<int>(std::count(
+                                   code.begin(),
+                                   code.begin() + static_cast<long>(i), '\n'));
+          std::string allowed;
+          for (const std::string& parent : it->second) {
+            if (!allowed.empty()) allowed += ", ";
+            allowed += "\"" + parent + "\"";
+          }
+          out.push_back(Diagnostic{
+              file.display, line, "obs-nesting",
+              "span \"" + site.name + "\" opens under \"" + stack.back().name +
+                  "\" but " + registry_name + " declares parent(s) " + allowed +
+                  " — fix the call site or the hierarchy"});
+        }
+      }
+      stack.push_back(Open{depth, site.name});
+    }
+    const char c = tokens[i];
+    if (c == '{') {
+      ++depth;
+    } else if (c == '}') {
+      --depth;
+      while (!stack.empty() && stack.back().depth > depth) stack.pop_back();
+    }
+  }
+}
+
 const char* wrapper_for(const std::string& token) {
   if (token == "std::lock_guard" || token == "std::unique_lock" ||
       token == "std::scoped_lock" || token == "std::shared_lock") {
@@ -310,10 +386,14 @@ std::vector<Diagnostic> run(const Options& options) {
   };
   std::vector<NameRule> name_rules;
   if (!options.obs_names_file.empty()) {
+    // HeartbeatScope declarations carry a variable name between the
+    // type and the literal (`obs::HeartbeatScope hb("name")`), hence
+    // the \s+\w+ alternative inside the call group.
     name_rules.push_back(NameRule{
         "obs-name", options.obs_names_file,
         std::regex("\\b(NP_SPAN|record_aggregate_span|obs::counter|"
-                   "obs::gauge|obs::histogram)\\s*\\(\\s*\"([^\"]*)\""),
+                   "obs::gauge|obs::histogram|"
+                   "obs::HeartbeatScope\\s+\\w+)\\s*\\(\\s*\"([^\"]*)\""),
         {},
         "register it or fix the call site so dashboards never dangle",
         "remove it or instrument the code"});
@@ -326,13 +406,47 @@ std::vector<Diagnostic> run(const Options& options) {
         "register it so NEUROPLAN_FAULT_SITES chaos configs stay valid",
         "remove it or add the NP_FAULT_POINT call site back"});
   }
+  // Span-nesting hierarchy: `parent > child` lines in obs_names.txt
+  // declare the only spans a child may lexically open under. Parsed
+  // here (and excluded from the plain-name registry) so the nesting
+  // scan below can check call sites against them.
+  struct NestEdge {
+    std::string parent;
+    std::string child;
+    int line = 0;
+  };
+  std::vector<NestEdge> nest_edges;
+  std::set<std::string> obs_known;
+  std::string obs_registry_name;
+  const auto trim = [](std::string s) {
+    while (!s.empty() && std::isspace(static_cast<unsigned char>(s.back())))
+      s.pop_back();
+    std::size_t start = 0;
+    while (start < s.size() &&
+           std::isspace(static_cast<unsigned char>(s[start])))
+      ++start;
+    return s.substr(start);
+  };
   for (NameRule& rule : name_rules) {
+    const bool is_obs = std::string(rule.rule) == "obs-name";
     for (const SourceFile& file : files) {
       extract_names(file, rule.call_re, rule.uses);
     }
     const auto registered = detail::read_registry(rule.registry_file);
+    std::vector<std::pair<std::string, int>> plain_names;
     std::set<std::string> known;
-    for (const auto& [name, line] : registered) known.insert(name);
+    for (const auto& [name, line] : registered) {
+      const std::size_t gt = name.find('>');
+      if (gt != std::string::npos) {
+        if (is_obs) {
+          nest_edges.push_back(NestEdge{trim(name.substr(0, gt)),
+                                        trim(name.substr(gt + 1)), line});
+        }
+        continue;  // hierarchy edges are not instrument names
+      }
+      known.insert(name);
+      plain_names.emplace_back(name, line);
+    }
     std::set<std::string> used;
     for (const NameUse& use : rule.uses) {
       used.insert(use.name);
@@ -344,7 +458,7 @@ std::vector<Diagnostic> run(const Options& options) {
                            rule.unknown_hint});
       }
     }
-    for (const auto& [name, line] : registered) {
+    for (const auto& [name, line] : plain_names) {
       if (used.count(name) == 0) {
         diagnostics.push_back(
             Diagnostic{rule.registry_file.filename().string(), line, rule.rule,
@@ -352,6 +466,32 @@ std::vector<Diagnostic> run(const Options& options) {
                            "\" has no call site in the scanned sources — " +
                            rule.stale_hint});
       }
+    }
+    if (is_obs) {
+      obs_known = known;
+      obs_registry_name = rule.registry_file.filename().string();
+    }
+  }
+
+  // ---- obs-nesting: declared span hierarchy vs lexical call sites.
+  // An edge whose endpoints are not registered span names would never
+  // fire — a silent typo — so the registry is validated first.
+  std::map<std::string, std::set<std::string>> parents_of;
+  for (const NestEdge& edge : nest_edges) {
+    for (const std::string* end : {&edge.parent, &edge.child}) {
+      if (obs_known.count(*end) == 0) {
+        diagnostics.push_back(Diagnostic{
+            obs_registry_name, edge.line, "obs-nesting",
+            "hierarchy edge \"" + edge.parent + " > " + edge.child +
+                "\" references \"" + *end +
+                "\" which is not a registered name"});
+      }
+    }
+    parents_of[edge.child].insert(edge.parent);
+  }
+  if (!parents_of.empty()) {
+    for (const SourceFile& file : files) {
+      check_span_nesting(file, parents_of, obs_registry_name, diagnostics);
     }
   }
 

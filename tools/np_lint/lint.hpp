@@ -11,6 +11,12 @@
 //                   registered name must still have a call site — so
 //                   dashboards and trace_summary greps never silently
 //                   dangle in either direction.
+//   obs-nesting     `parent > child` lines in docs/obs_names.txt declare
+//                   the only spans a child span may (lexically) open
+//                   under; a call site that opens the child beneath any
+//                   other span fails, as does an edge naming an
+//                   unregistered span. Children without declared
+//                   parents are unconstrained.
 //   fault-site      NP_FAULT_POINT sites must match docs/fault_sites.txt
 //                   (and vice versa), keeping NEUROPLAN_FAULT_SITES
 //                   chaos configs valid.
@@ -89,6 +95,8 @@ FileViews make_views(const std::string& text);
 
 /// Registry file format: one name per line, '#' starts a comment,
 /// blanks ignored. Returns (name, 1-based line) pairs in file order.
+/// `parent > child` hierarchy lines come back as single entries; the
+/// caller splits them (run() does, for the obs-nesting rule).
 std::vector<std::pair<std::string, int>> read_registry(
     const std::filesystem::path& file);
 

@@ -1,0 +1,292 @@
+// np_postmortem — render a *.npcrash flight-recorder report (written
+// by the library's crash/stall/exit dump paths) as a terminal-friendly
+// post-mortem: what killed the run, what every thread was doing, the
+// merged last-moments timeline, and the metrics state at death.
+//
+//   np_postmortem <report.npcrash> [--events N] [--metrics <file.jsonl>]
+//
+// --events N    per-thread tail length and merged-timeline length
+//               (default 12 per thread, 25 merged)
+// --metrics F   also read a --metrics-out JSONL file and show which
+//               counters moved between the last train_epoch record and
+//               the crash snapshot — "what was the process doing after
+//               its last healthy heartbeat".
+//
+// Std-only (np_json.hpp) on purpose: the tool must build and run on a
+// machine that has only the report, not the library stack.
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "np_json.hpp"
+
+namespace {
+
+struct TimelineEvent {
+  double ts_us = 0.0;
+  int tid = 0;
+  std::string kind;
+  std::string name;
+  long a = 0;
+  long b = 0;
+};
+
+std::string read_file(const char* path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw std::runtime_error(std::string("cannot open ") + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+/// "1234567.8 us since start" -> "+1.235 s" style offsets against the
+/// trigger timestamp, so the timeline reads as time-to-death.
+std::string rel_time(double ts_us, double trigger_us) {
+  char buf[32];
+  const double delta_ms = (ts_us - trigger_us) / 1000.0;
+  std::snprintf(buf, sizeof buf, "%+10.3f", delta_ms);
+  return buf;
+}
+
+void print_rule(const char* title) {
+  std::printf("\n── %s ", title);
+  for (int i = static_cast<int>(std::strlen(title)); i < 66; ++i)
+    std::printf("─");
+  std::printf("\n");
+}
+
+void print_event_row(const TimelineEvent& e, double trigger_us) {
+  // a/b carry kind-specific payloads (iterations, sizes, epoch numbers);
+  // print them raw but only when nonzero so span rows stay quiet.
+  std::printf("  %s ms  t%-3d %-18s %s", rel_time(e.ts_us, trigger_us).c_str(),
+              e.tid, e.kind.c_str(), e.name.c_str());
+  if (e.a != 0 || e.b != 0) std::printf("  [a=%ld b=%ld]", e.a, e.b);
+  std::printf("\n");
+}
+
+bool is_notable(const std::string& kind) {
+  return kind == "contract_violation" || kind == "fault_injected" ||
+         kind == "stall" || kind == "deadline_hit" ||
+         kind == "verdict_degraded";
+}
+
+std::map<std::string, double> flatten_counters(const np_json::Value& metrics) {
+  std::map<std::string, double> out;
+  const np_json::Value* counters = metrics.find("counters");
+  if (counters == nullptr) return out;
+  for (const auto& [name, v] : counters->object) {
+    if (v.is_number()) out[name] = v.number;
+  }
+  return out;
+}
+
+int run(int argc, char** argv) {
+  const char* report_path = nullptr;
+  const char* metrics_path = nullptr;
+  int tail_events = 12;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--events" && i + 1 < argc) {
+      tail_events = std::max(1, std::atoi(argv[++i]));
+    } else if (arg == "--metrics" && i + 1 < argc) {
+      metrics_path = argv[++i];
+    } else if (report_path == nullptr) {
+      report_path = argv[i];
+    } else {
+      std::fprintf(stderr,
+                   "usage: np_postmortem <report.npcrash> [--events N]"
+                   " [--metrics <file.jsonl>]\n");
+      return 2;
+    }
+  }
+  if (report_path == nullptr) {
+    std::fprintf(stderr,
+                 "usage: np_postmortem <report.npcrash> [--events N]"
+                 " [--metrics <file.jsonl>]\n");
+    return 2;
+  }
+
+  const np_json::Value report = np_json::parse(read_file(report_path));
+  const double version = report.num_or("npcrash_version", -1);
+  if (version < 0) {
+    std::fprintf(stderr, "%s: not an .npcrash report (no npcrash_version)\n",
+                 report_path);
+    return 1;
+  }
+
+  // ── header ────────────────────────────────────────────────────────
+  const np_json::Value* trigger = report.find("trigger");
+  const double trigger_us = trigger != nullptr ? trigger->num_or("ts_us", 0) : 0;
+  std::printf("npcrash v%.0f  %s\n", version, report_path);
+  if (trigger != nullptr) {
+    std::printf("trigger: %s (%s) on thread t%.0f at %.3f s",
+                trigger->str_or("kind", "?").c_str(),
+                trigger->str_or("name", "?").c_str(),
+                trigger->num_or("tid", 0), trigger_us / 1e6);
+    const std::string detail = trigger->str_or("detail", "");
+    if (!detail.empty()) std::printf("\n  detail: %s", detail.c_str());
+    std::printf("\n");
+  }
+  if (const np_json::Value* build = report.find("build")) {
+    const np_json::Value* checks = build->find("checks");
+    const np_json::Value* faults = build->find("faults");
+    std::printf("build: rev %s, checks %s, faults %s, pid %.0f\n",
+                build->str_or("git_rev", "unknown").c_str(),
+                checks != nullptr && checks->boolean ? "on" : "off",
+                faults != nullptr && faults->boolean ? "on" : "off",
+                report.num_or("pid", 0));
+  }
+  const std::string annotation = report.str_or("annotation", "");
+  if (!annotation.empty()) std::printf("run: %s\n", annotation.c_str());
+  if (const np_json::Value* skipped = report.find("metrics_lock_skipped")) {
+    if (skipped->boolean) {
+      std::printf("note: metrics snapshot incomplete (registry lock was "
+                  "held at dump time)\n");
+    }
+  }
+
+  // ── threads ───────────────────────────────────────────────────────
+  const np_json::Value* threads = report.find("threads");
+  std::vector<TimelineEvent> merged;
+  if (threads != nullptr && threads->is_array()) {
+    print_rule("threads");
+    for (const np_json::Value& t : threads->array) {
+      const int tid = static_cast<int>(t.num_or("tid", 0));
+      std::printf("thread t%d: %.0f events recorded\n", tid,
+                  t.num_or("events_written", 0));
+      if (const np_json::Value* stack = t.find("span_stack")) {
+        if (stack->is_array() && !stack->array.empty()) {
+          std::printf("  in: ");
+          for (std::size_t i = 0; i < stack->array.size(); ++i) {
+            if (i > 0) std::printf(" > ");
+            std::printf("%s", stack->array[i].string.c_str());
+          }
+          std::printf("\n");
+        }
+      }
+      if (const np_json::Value* hb = t.find("heartbeat")) {
+        if (hb->is_object()) {
+          std::printf("  heartbeat: %s progress=%.0f age=%+.3f s\n",
+                      hb->str_or("name", "?").c_str(), hb->num_or("progress", 0),
+                      (hb->num_or("ts_us", 0) - trigger_us) / 1e6);
+        }
+      }
+      const np_json::Value* events = t.find("events");
+      if (events == nullptr || !events->is_array()) continue;
+      const std::size_t n = events->array.size();
+      const std::size_t from =
+          n > static_cast<std::size_t>(tail_events)
+              ? n - static_cast<std::size_t>(tail_events)
+              : 0;
+      for (std::size_t i = 0; i < n; ++i) {
+        const np_json::Value& e = events->array[i];
+        TimelineEvent ev;
+        ev.ts_us = e.num_or("ts_us", 0);
+        ev.tid = tid;
+        ev.kind = e.str_or("kind", "?");
+        ev.name = e.str_or("name", "");
+        ev.a = static_cast<long>(e.num_or("a", 0));
+        ev.b = static_cast<long>(e.num_or("b", 0));
+        merged.push_back(ev);
+        if (i >= from) print_event_row(ev, trigger_us);
+      }
+    }
+  }
+
+  // ── notable events (anywhere in any ring, not just the tail) ──────
+  std::vector<TimelineEvent> notable;
+  for (const TimelineEvent& e : merged) {
+    if (is_notable(e.kind)) notable.push_back(e);
+  }
+  if (!notable.empty()) {
+    print_rule("notable events");
+    for (const TimelineEvent& e : notable) print_event_row(e, trigger_us);
+  }
+
+  // ── merged timeline (last N across all threads) ───────────────────
+  if (!merged.empty()) {
+    std::sort(merged.begin(), merged.end(),
+              [](const TimelineEvent& a, const TimelineEvent& b) {
+                return a.ts_us < b.ts_us;
+              });
+    const int merged_n = tail_events * 2 + 1;
+    print_rule("merged timeline (most recent last)");
+    const std::size_t from = merged.size() > static_cast<std::size_t>(merged_n)
+                                 ? merged.size() - merged_n
+                                 : 0;
+    for (std::size_t i = from; i < merged.size(); ++i) {
+      print_event_row(merged[i], trigger_us);
+    }
+  }
+
+  // ── metrics snapshot ──────────────────────────────────────────────
+  const np_json::Value* metrics = report.find("metrics");
+  if (metrics != nullptr && metrics->is_object()) {
+    print_rule("metrics at dump");
+    if (const np_json::Value* counters = metrics->find("counters")) {
+      for (const auto& [name, v] : counters->object) {
+        std::printf("  %-36s %14.0f\n", name.c_str(), v.number);
+      }
+    }
+    if (const np_json::Value* gauges = metrics->find("gauges")) {
+      for (const auto& [name, v] : gauges->object) {
+        std::printf("  %-36s %14.4f\n", name.c_str(), v.number);
+      }
+    }
+  }
+
+  // ── drift since the last healthy metrics record ───────────────────
+  if (metrics_path != nullptr && metrics != nullptr) {
+    std::ifstream in(metrics_path);
+    if (!in) {
+      std::fprintf(stderr, "cannot open %s\n", metrics_path);
+      return 1;
+    }
+    std::string line, last_epoch_line;
+    double last_epoch_index = -1;
+    while (std::getline(in, line)) {
+      if (line.find("\"record\":\"train_epoch\"") == std::string::npos) continue;
+      last_epoch_line = line;
+    }
+    if (last_epoch_line.empty()) {
+      std::printf("\n(no train_epoch records in %s)\n", metrics_path);
+      return 0;
+    }
+    const np_json::Value record = np_json::parse(last_epoch_line);
+    last_epoch_index = record.num_or("index", -1);
+    const np_json::Value* base = record.find("metrics");
+    if (base == nullptr) return 0;
+    const std::map<std::string, double> before = flatten_counters(*base);
+    const std::map<std::string, double> after = flatten_counters(*metrics);
+    print_rule("counter movement since last train_epoch record");
+    std::printf("  (baseline: epoch %.0f from %s)\n", last_epoch_index,
+                metrics_path);
+    bool any = false;
+    for (const auto& [name, now] : after) {
+      const auto it = before.find(name);
+      const double was = it == before.end() ? 0.0 : it->second;
+      if (now == was) continue;
+      any = true;
+      std::printf("  %-36s %14.0f -> %-14.0f (%+.0f)\n", name.c_str(), was, now,
+                  now - was);
+    }
+    if (!any) std::printf("  (no counters moved — death was immediate)\n");
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "np_postmortem: %s\n", e.what());
+    return 1;
+  }
+}

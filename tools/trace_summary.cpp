@@ -25,6 +25,19 @@ struct Aggregate {
   long count = 0;
   double total_us = 0.0;
   double max_us = 0.0;
+  /// Exclusive time: total minus time spent in nested child spans on
+  /// the same thread. This is where the wall clock actually went —
+  /// a span can dominate total_us purely by wrapping expensive callees.
+  double self_us = 0.0;
+};
+
+/// One complete event, kept for the per-thread nesting pass.
+struct SpanEvent {
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  long tid = 0;
+  std::string name;
+  std::string cat;
 };
 
 /// Extract `"key":"..."` from a flat JSON object body.
@@ -51,24 +64,71 @@ bool extract_number(const std::string& object, const std::string& key,
 }
 
 void print_table(const char* title,
-                 const std::map<std::string, Aggregate>& rows, int top_n) {
+                 const std::map<std::string, Aggregate>& rows, int top_n,
+                 bool by_self) {
   std::vector<std::pair<std::string, Aggregate>> sorted(rows.begin(),
                                                         rows.end());
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return a.second.total_us > b.second.total_us;
-  });
+  std::sort(sorted.begin(), sorted.end(),
+            [by_self](const auto& a, const auto& b) {
+              return by_self ? a.second.self_us > b.second.self_us
+                             : a.second.total_us > b.second.total_us;
+            });
   std::printf("%s\n", title);
-  std::printf("  %-28s %10s %12s %12s %12s\n", "name", "events", "total_ms",
-              "mean_us", "max_us");
+  std::printf("  %-28s %10s %12s %12s %12s %12s\n", "name", "events",
+              "total_ms", "self_ms", "mean_us", "max_us");
   int shown = 0;
   for (const auto& [name, agg] : sorted) {
     if (top_n > 0 && shown++ >= top_n) {
       std::printf("  ... %zu more\n", sorted.size() - static_cast<std::size_t>(top_n));
       break;
     }
-    std::printf("  %-28s %10ld %12.2f %12.1f %12.1f\n", name.c_str(), agg.count,
-                agg.total_us / 1000.0, agg.total_us / agg.count, agg.max_us);
+    std::printf("  %-28s %10ld %12.2f %12.2f %12.1f %12.1f\n", name.c_str(),
+                agg.count, agg.total_us / 1000.0, agg.self_us / 1000.0,
+                agg.total_us / agg.count, agg.max_us);
   }
+}
+
+/// Fold exclusive (self) time into by_name: per thread, sort spans by
+/// start time and walk a nesting stack — a span that starts before the
+/// stack top ends is its child, and the child's duration is subtracted
+/// from the parent's self time. Complete events on one thread nest or
+/// are disjoint (scopes), so interval containment IS the call tree.
+void accumulate_self_times(std::vector<SpanEvent>& events,
+                           std::map<std::string, Aggregate>& by_name,
+                           std::map<std::string, Aggregate>& by_category) {
+  std::sort(events.begin(), events.end(),
+            [](const SpanEvent& a, const SpanEvent& b) {
+              if (a.tid != b.tid) return a.tid < b.tid;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              // Same start: the longer span is the parent.
+              return a.dur_us > b.dur_us;
+            });
+  struct Open {
+    double end_us = 0.0;
+    double child_us = 0.0;
+    const SpanEvent* event = nullptr;
+  };
+  std::vector<Open> stack;
+  long current_tid = -1;
+  const auto close = [&](const Open& open) {
+    const double self = std::max(0.0, open.event->dur_us - open.child_us);
+    by_name[open.event->name].self_us += self;
+    by_category[open.event->cat].self_us += self;
+  };
+  for (const SpanEvent& event : events) {
+    if (event.tid != current_tid) {
+      for (const Open& open : stack) close(open);
+      stack.clear();
+      current_tid = event.tid;
+    }
+    while (!stack.empty() && event.ts_us >= stack.back().end_us) {
+      close(stack.back());
+      stack.pop_back();
+    }
+    if (!stack.empty()) stack.back().child_us += event.dur_us;
+    stack.push_back({event.ts_us + event.dur_us, 0.0, &event});
+  }
+  for (const Open& open : stack) close(open);
 }
 
 }  // namespace
@@ -97,6 +157,7 @@ int main(int argc, char** argv) {
 
   std::map<std::string, Aggregate> by_category;
   std::map<std::string, Aggregate> by_name;
+  std::vector<SpanEvent> all_events;
   long events = 0;
   double total_us = 0.0;
   while ((pos = text.find('{', pos)) != std::string::npos) {
@@ -106,7 +167,7 @@ int main(int argc, char** argv) {
     pos = close + 1;
 
     std::string ph, name, cat;
-    double dur = 0.0;
+    double dur = 0.0, ts = 0.0, tid = 0.0;
     if (!extract_string(object, "ph", ph) || ph != "X") continue;
     if (!extract_string(object, "name", name)) continue;
     if (!extract_string(object, "cat", cat)) cat = name;
@@ -119,7 +180,12 @@ int main(int argc, char** argv) {
       agg->total_us += dur;
       agg->max_us = std::max(agg->max_us, dur);
     }
+    if (extract_number(object, "ts", ts)) {
+      extract_number(object, "tid", tid);
+      all_events.push_back({ts, dur, static_cast<long>(tid), name, cat});
+    }
   }
+  accumulate_self_times(all_events, by_name, by_category);
 
   if (events == 0) {
     std::printf("%s: no complete (ph=X) events\n", argv[1]);
@@ -128,8 +194,11 @@ int main(int argc, char** argv) {
   std::printf("%s: %ld events, %.2f ms total span time (spans nest, so "
               "categories overlap)\n\n",
               argv[1], events, total_us / 1000.0);
-  print_table("per category:", by_category, 0);
+  print_table("per category:", by_category, 0, /*by_self=*/false);
   std::printf("\n");
-  print_table("per span:", by_name, top_n);
+  print_table("per span:", by_name, top_n, /*by_self=*/false);
+  std::printf("\n");
+  print_table("per span by self time (exclusive):", by_name, top_n,
+              /*by_self=*/true);
   return 0;
 }
