@@ -18,6 +18,7 @@
 #include "topo/generator.hpp"
 #include "util/env.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace np::bench {
 
@@ -28,7 +29,12 @@ namespace np::bench {
 /// topologies per file, pricing_seconds/pricing_share per pass).
 /// v4: rollout_throughput reports the worker curve per inference mode
 /// (fast/tape) under "modes"; new nn_inference bench (BENCH_infer.json).
-inline constexpr int kBenchSchemaVersion = 4;
+/// v5: new serve_throughput bench (BENCH_serve.json: QPS vs p50/p99 and
+/// shed/degraded rates per worker count); shared provenance gained
+/// "hw_threads" and, on single-hardware-thread hosts, a machine-readable
+/// "hw_warning" block — throughput scaling numbers from a 1-thread box
+/// measure contention, not parallel speedup.
+inline constexpr int kBenchSchemaVersion = 5;
 
 /// Git revision baked in at configure time (bench/CMakeLists.txt);
 /// "unknown" outside a git checkout.
@@ -42,9 +48,23 @@ inline const char* git_rev() {
 
 /// Emit the shared provenance fields. Call right after writing the
 /// opening '{' of a BENCH_*.json document (fields end with a comma).
+/// Includes hardware-thread provenance: scaling curves recorded on a
+/// single-hardware-thread host are flagged with a hw_warning block
+/// (thread_starved is numeric so bench_diff's numeric-leaf flattening
+/// surfaces it in comparisons).
 inline void print_json_provenance(std::FILE* out) {
+  const int hw = util::ThreadPool::hardware_threads();
   std::fprintf(out, "  \"schema_version\": %d,\n  \"git_rev\": \"%s\",\n",
                kBenchSchemaVersion, git_rev());
+  std::fprintf(out, "  \"hw_threads\": %d,\n", hw);
+  if (hw <= 1) {
+    std::fprintf(out,
+                 "  \"hw_warning\": {\n"
+                 "    \"thread_starved\": 1,\n"
+                 "    \"detail\": \"single hardware thread: worker-scaling "
+                 "series measure contention, not parallel speedup\"\n"
+                 "  },\n");
+  }
 }
 
 inline std::string topo_selection(const std::string& fallback) {

@@ -1,0 +1,280 @@
+// serve_throughput — np::serve engine capacity and degradation curves.
+//
+// Drives the serving engine in-process (no sockets: this measures the
+// admission/worker/evaluator stack, not loopback TCP) and reports, per
+// worker count:
+//
+//   * capacity_qps — closed-loop saturation throughput (2x workers
+//     outstanding, each reply immediately resubmitting);
+//   * open-loop phases at 0.7x and 1.5x of that capacity: p50/p99
+//     latency plus OK/SHED/DEGRADED rates. The overload phase is the
+//     point of the bench — it shows load shedding and deadline
+//     degradation holding latency bounded instead of queueing without
+//     limit.
+//
+// Output: BENCH_serve.json (schema v5). Interpreting worker scaling
+// needs the hw_threads provenance — on a single-hardware-thread host
+// the series measures contention and the JSON carries a hw_warning
+// block saying so.
+//
+// Scale knobs: NEUROPLAN_TOPOS (first preset char, default A),
+// NEUROPLAN_SERVE_QUERIES (per phase, default 200), NEUROPLAN_SEED.
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "obs/trace.hpp"
+#include "serve/engine.hpp"
+#include "topo/generator.hpp"
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace np;
+
+serve::Request make_check(long id, int num_links, Rng& rng) {
+  serve::Request request;
+  request.kind = serve::RequestKind::kCheck;
+  request.id = id;
+  request.plan.assign(static_cast<std::size_t>(num_links), 0);
+  // Vary capacities per query so warm bases are patched, not replayed.
+  for (int touch = 0; touch < 3; ++touch) {
+    request.plan[rng.uniform_index(request.plan.size())] +=
+        static_cast<int>(rng.uniform_int(0, 3));
+  }
+  return request;
+}
+
+/// Closed-loop saturation: keep `outstanding` queries in flight, each
+/// reply resubmitting the next, until `total` have been answered.
+double measure_capacity_qps(serve::Engine& engine, int num_links,
+                            int outstanding, long total, unsigned seed) {
+  struct Loop {
+    util::Mutex mutex;
+    util::CondVar done_cv;
+    long submitted NP_GUARDED_BY(mutex) = 0;
+    long answered NP_GUARDED_BY(mutex) = 0;
+    Rng rng NP_GUARDED_BY(mutex){0};
+  };
+  auto loop = std::make_shared<Loop>();
+  {
+    util::LockGuard lock(loop->mutex);
+    loop->rng.reseed(seed);
+  }
+  Stopwatch clock;
+  // The resubmit chain: each terminal reply launches the next query
+  // until the budget is spent, so the engine is never idle.
+  std::function<void(const serve::Reply&)> on_reply;
+  std::function<bool()> submit_next = [&engine, loop, num_links, total,
+                                       &on_reply]() {
+    long id = -1;
+    {
+      util::LockGuard lock(loop->mutex);
+      if (loop->submitted >= total) return false;
+      id = ++loop->submitted;
+    }
+    serve::Request request;
+    {
+      util::LockGuard lock(loop->mutex);
+      request = make_check(id, num_links, loop->rng);
+    }
+    engine.submit(request, on_reply);
+    return true;
+  };
+  on_reply = [loop, &submit_next](const serve::Reply&) {
+    if (!submit_next()) {
+      util::LockGuard lock(loop->mutex);
+      ++loop->answered;
+      loop->done_cv.notify_all();
+      return;
+    }
+    util::LockGuard lock(loop->mutex);
+    ++loop->answered;
+  };
+  for (int i = 0; i < outstanding; ++i) {
+    if (!submit_next()) break;
+  }
+  {
+    util::LockGuard lock(loop->mutex);
+    while (loop->answered < total) loop->done_cv.wait(loop->mutex);
+  }
+  const double seconds = clock.seconds();
+  return seconds > 0.0 ? static_cast<double>(total) / seconds : 0.0;
+}
+
+struct PhaseResult {
+  double offered_ratio = 0.0;
+  double offered_qps = 0.0;
+  long answered = 0;
+  double ok_rate = 0.0;
+  double shed_rate = 0.0;
+  double degraded_rate = 0.0;
+  double error_rate = 0.0;
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+};
+
+/// Open loop at a fixed offered rate: submit on schedule no matter how
+/// the engine is coping, then wait for every reply.
+PhaseResult measure_open_loop(serve::Engine& engine, int num_links,
+                              double offered_qps, double ratio, long total,
+                              unsigned seed) {
+  struct Collector {
+    util::Mutex mutex;
+    util::CondVar done_cv;
+    long answered NP_GUARDED_BY(mutex) = 0;
+    long ok NP_GUARDED_BY(mutex) = 0;
+    long shed NP_GUARDED_BY(mutex) = 0;
+    long degraded NP_GUARDED_BY(mutex) = 0;
+    long errors NP_GUARDED_BY(mutex) = 0;
+    std::vector<double> latencies_us NP_GUARDED_BY(mutex);
+  };
+  auto collector = std::make_shared<Collector>();
+  Rng rng(seed);
+  const double interval_s = 1.0 / std::max(offered_qps, 1e-6);
+  Stopwatch clock;
+  for (long q = 0; q < total; ++q) {
+    const double wait_s = static_cast<double>(q) * interval_s - clock.seconds();
+    if (wait_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    const double sent_us = obs::now_us();
+    engine.submit(
+        make_check(q + 1, num_links, rng),
+        [collector, sent_us](const serve::Reply& reply) {
+          util::LockGuard lock(collector->mutex);
+          switch (reply.status) {
+            case serve::ReplyStatus::kOk: ++collector->ok; break;
+            case serve::ReplyStatus::kShed: ++collector->shed; break;
+            case serve::ReplyStatus::kDegraded: ++collector->degraded; break;
+            case serve::ReplyStatus::kError: ++collector->errors; break;
+          }
+          collector->latencies_us.push_back(obs::now_us() - sent_us);
+          ++collector->answered;
+          collector->done_cv.notify_all();
+        });
+  }
+  {
+    util::LockGuard lock(collector->mutex);
+    while (collector->answered < total) collector->done_cv.wait(collector->mutex);
+  }
+  PhaseResult result;
+  util::LockGuard lock(collector->mutex);
+  std::sort(collector->latencies_us.begin(), collector->latencies_us.end());
+  const auto pct = [&](double q) {
+    if (collector->latencies_us.empty()) return 0.0;
+    const auto idx = static_cast<std::size_t>(
+        q * static_cast<double>(collector->latencies_us.size() - 1));
+    return collector->latencies_us[idx];
+  };
+  const double n = static_cast<double>(total);
+  result.offered_ratio = ratio;
+  result.offered_qps = offered_qps;
+  result.answered = collector->answered;
+  result.ok_rate = static_cast<double>(collector->ok) / n;
+  result.shed_rate = static_cast<double>(collector->shed) / n;
+  result.degraded_rate = static_cast<double>(collector->degraded) / n;
+  result.error_rate = static_cast<double>(collector->errors) / n;
+  result.p50_us = pct(0.50);
+  result.p99_us = pct(0.99);
+  return result;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const char preset = bench::topo_selection("A")[0];
+  const unsigned seed = bench::bench_seed();
+  const long queries = env_long("NEUROPLAN_SERVE_QUERIES", 200);
+  const topo::Topology topology = topo::make_preset(preset, seed);
+  const int num_links = topology.num_links();
+
+  bench::print_header("serve_throughput",
+                      "np::serve engine: QPS capacity, latency percentiles "
+                      "and shed/degraded rates per worker count");
+
+  struct Series {
+    int workers = 0;
+    double capacity_qps = 0.0;
+    std::vector<PhaseResult> phases;
+  };
+  const std::vector<int> worker_counts = {1, 2, 4};
+  std::vector<Series> series;
+  for (int workers : worker_counts) {
+    serve::EngineConfig config;
+    config.workers = workers;
+    config.queue_capacity = 64;
+    // The overload phase leans on the full degradation ladder: finite
+    // deadlines degrade slow queries, the backlog estimator sheds the
+    // rest.
+    config.default_deadline_ms = 250.0;
+    config.max_backlog_ms = 500.0;
+    config.seed = seed;
+    serve::Engine engine(topology, config);
+
+    Series row;
+    row.workers = workers;
+    row.capacity_qps = measure_capacity_qps(engine, num_links, 2 * workers,
+                                            queries, seed);
+    std::printf("workers %d: capacity %.1f qps\n", workers, row.capacity_qps);
+    for (const double ratio : {0.7, 1.5}) {
+      const PhaseResult phase = measure_open_loop(
+          engine, num_links, ratio * row.capacity_qps, ratio, queries, seed);
+      std::printf(
+          "  offered %.1fx (%.1f qps): p50 %.0fus p99 %.0fus ok %.0f%% "
+          "shed %.0f%% degraded %.0f%%\n",
+          ratio, phase.offered_qps, phase.p50_us, phase.p99_us,
+          100.0 * phase.ok_rate, 100.0 * phase.shed_rate,
+          100.0 * phase.degraded_rate);
+      row.phases.push_back(phase);
+    }
+    engine.drain();
+    series.push_back(row);
+  }
+
+  const char* out_path = argc > 1 ? argv[1] : "BENCH_serve.json";
+  std::FILE* out = std::fopen(out_path, "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", out_path);
+    return 1;
+  }
+  std::fprintf(out, "{\n");
+  bench::print_json_provenance(out);
+  std::fprintf(out,
+               "  \"benchmark\": \"serve_throughput\",\n"
+               "  \"topology\": \"%c\",\n"
+               "  \"queries_per_phase\": %ld,\n"
+               "  \"series\": [\n",
+               preset, queries);
+  for (std::size_t i = 0; i < series.size(); ++i) {
+    const Series& row = series[i];
+    std::fprintf(out,
+                 "    {\"workers\": %d, \"capacity_qps\": %.2f, \"phases\": [\n",
+                 row.workers, row.capacity_qps);
+    for (std::size_t p = 0; p < row.phases.size(); ++p) {
+      const PhaseResult& phase = row.phases[p];
+      std::fprintf(out,
+                   "      {\"offered_ratio\": %.2f, \"offered_qps\": %.2f, "
+                   "\"answered\": %ld, \"ok_rate\": %.4f, \"shed_rate\": %.4f, "
+                   "\"degraded_rate\": %.4f, \"error_rate\": %.4f, "
+                   "\"p50_us\": %.1f, \"p99_us\": %.1f}%s\n",
+                   phase.offered_ratio, phase.offered_qps, phase.answered,
+                   phase.ok_rate, phase.shed_rate, phase.degraded_rate,
+                   phase.error_rate, phase.p50_us, phase.p99_us,
+                   p + 1 < row.phases.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < series.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("wrote %s\n", out_path);
+  return 0;
+}

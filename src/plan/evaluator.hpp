@@ -13,6 +13,14 @@
 //                          survived earlier in a monotone trajectory are
 //                          skipped, and solves warm-start from the
 //                          previous basis.
+//  * kWarmPatched        — SA with resident patched models and warm
+//                          starts like kStateful, but no monotone skip
+//                          and no monotonicity precondition: every
+//                          scenario is re-checked each call, so
+//                          arbitrary (non-monotone) plan queries are
+//                          valid. The serving mode: np::serve workers
+//                          keep one kWarmPatched evaluator resident per
+//                          shard.
 //
 // Stateful mode relies on capacities never decreasing between checks of
 // one trajectory (the paper's only-add action design); call reset()
@@ -21,14 +29,35 @@
 
 #include <memory>
 #include <optional>
+#include <stdexcept>
+#include <string>
 #include <vector>
 
 #include "plan/scenario_lp.hpp"
 #include "topo/topology.hpp"
+#include "util/deadline.hpp"
 
 namespace np::plan {
 
-enum class EvaluatorMode { kVanilla, kSourceAggregation, kStateful };
+enum class EvaluatorMode { kVanilla, kSourceAggregation, kStateful, kWarmPatched };
+
+/// Thrown by kWarmPatched checks when one scenario's solve dies on an
+/// exception (injected fault, contract violation, solver error): the
+/// failing scenario id rides along so a serving layer can retry cold or
+/// quarantine exactly that scenario instead of the whole query. The
+/// scenario's cached model is dropped before the throw, so the next
+/// attempt rebuilds it from scratch.
+class ScenarioError : public std::runtime_error {
+ public:
+  ScenarioError(int scenario, const std::string& cause)
+      : std::runtime_error("scenario " + std::to_string(scenario) +
+                           " failed: " + cause),
+        scenario_(scenario) {}
+  int scenario() const { return scenario_; }
+
+ private:
+  int scenario_;
+};
 
 const char* to_string(EvaluatorMode mode);
 
@@ -47,6 +76,10 @@ struct CheckResult {
   /// Scenario solves in this check that stopped on the wall-clock
   /// deadline instead of finishing.
   int deadline_hits = 0;
+  /// Scenarios skipped because they are quarantined (set_quarantined);
+  /// > 0 forces verdict kUnknown even when every solved scenario passed
+  /// — skipped scenarios are unproven, never assumed feasible.
+  int quarantined_skipped = 0;
   int scenarios_checked = 0;
   long lp_iterations = 0;
   /// Seconds spent inside lp::solve for this check. Sequential
@@ -76,6 +109,25 @@ class PlanEvaluator {
   void set_scenario_budget(double seconds) { scenario_budget_seconds_ = seconds; }
   double scenario_budget_seconds() const { return scenario_budget_seconds_; }
 
+  /// Absolute wall-clock deadline for the *whole* check: propagated into
+  /// every scenario solve's SimplexOptions::deadline (tightened against
+  /// the per-scenario budget), and tested between scenarios — an expired
+  /// deadline ends the check with Verdict::kUnknown partial results
+  /// instead of blocking. Default-constructed = unlimited. The deadline
+  /// persists across check() calls; serving callers set a fresh one per
+  /// query.
+  void set_check_deadline(util::Deadline deadline) { check_deadline_ = deadline; }
+
+  /// Scenario ids to skip (sorted or not; duplicates fine). A check
+  /// that skips any quarantined scenario reports quarantined_skipped
+  /// and degrades its verdict to kUnknown — quarantine trades accuracy
+  /// for availability, it never fakes feasibility.
+  void set_quarantined(std::vector<int> scenario_ids);
+
+  /// Drop one scenario's cached model and warm basis so its next solve
+  /// is a cold rebuild (kStateful / kWarmPatched caches only).
+  void invalidate_scenario(int scenario);
+
   /// Scenarios = 1 (healthy) + failures.
   int num_scenarios() const { return topology_.num_failures() + 1; }
 
@@ -95,7 +147,9 @@ class PlanEvaluator {
   EvaluatorMode mode_;
   lp::SimplexOptions lp_options_;
   double scenario_budget_seconds_ = 0.0;  ///< <= 0 = unlimited
-  /// Lazily built, patched models (kStateful only).
+  util::Deadline check_deadline_;         ///< default = unlimited
+  std::vector<int> quarantined_;          ///< scenario ids to skip
+  /// Lazily built, patched models (kStateful / kWarmPatched only).
   std::vector<std::optional<ScenarioLp>> cached_;
   int next_unchecked_ = 0;  ///< kStateful: scenarios before this survived
   long total_lp_iterations_ = 0;

@@ -1,0 +1,304 @@
+#include "serve/protocol.hpp"
+
+#include <cerrno>
+#include <cstdlib>
+#include <set>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace np::serve {
+
+namespace {
+
+/// Strict decimal-integer value parsing: the whole token must be a
+/// number in [min_value, max_value] — letters, empty strings, trailing
+/// junk and out-of-range values are typed ParseErrors, never atoi's
+/// silent 0.
+long parse_long_value(const std::string& key, const std::string& text,
+                      long min_value, long max_value) {
+  NP_ASSERT(min_value <= max_value);
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ParseError(key + ": expected an integer, got '" + text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    throw ParseError(key + ": value " + text + " out of range [" +
+                     std::to_string(min_value) + ", " +
+                     std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+double parse_double_value(const std::string& key, const std::string& text,
+                          double min_value, double max_value) {
+  NP_ASSERT(min_value <= max_value);
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0' || errno == ERANGE) {
+    throw ParseError(key + ": expected a number, got '" + text + "'");
+  }
+  if (!(value >= min_value && value <= max_value)) {  // rejects NaN too
+    throw ParseError(key + ": value " + text + " out of range");
+  }
+  return value;
+}
+
+std::vector<int> parse_plan_value(const std::string& csv) {
+  if (csv.empty()) throw ParseError("plan: empty unit list");
+  std::vector<int> units;
+  std::stringstream is(csv);
+  std::string token;
+  while (std::getline(is, token, ',')) {
+    units.push_back(
+        static_cast<int>(parse_long_value("plan unit", token, 0, 1000000)));
+  }
+  return units;
+}
+
+std::string encode_plan_value(const std::vector<int>& plan) {
+  std::ostringstream os;
+  for (std::size_t i = 0; i < plan.size(); ++i) {
+    if (i > 0) os << ',';
+    os << plan[i];
+  }
+  return os.str();
+}
+
+/// Reasons travel as a single token: whitespace would split them into
+/// bogus key=value pairs on the way back in.
+std::string sanitize_reason(const std::string& reason) {
+  std::string out = reason;
+  for (char& c : out) {
+    if (c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '=') c = '_';
+  }
+  return out;
+}
+
+/// Split a strict `key=value` token. Throws ParseError on anything else.
+std::pair<std::string, std::string> split_pair(const std::string& token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string::npos || eq == 0 || eq + 1 >= token.size()) {
+    throw ParseError("expected key=value, got '" + token + "'");
+  }
+  return {token.substr(0, eq), token.substr(eq + 1)};
+}
+
+std::vector<std::string> tokenize(const std::string& payload) {
+  std::istringstream is(payload);
+  std::vector<std::string> tokens;
+  std::string token;
+  while (is >> token) tokens.push_back(token);
+  return tokens;
+}
+
+void require_version(const std::vector<std::string>& tokens) {
+  if (tokens.empty()) throw ParseError("empty payload");
+  if (tokens[0] != kProtocolVersion) {
+    throw ParseError("unsupported protocol version '" + tokens[0] + "' (want " +
+                     std::string(kProtocolVersion) + ")");
+  }
+}
+
+}  // namespace
+
+const char* to_string(RequestKind kind) {
+  switch (kind) {
+    case RequestKind::kCheck: return "check";
+    case RequestKind::kCost: return "cost";
+    case RequestKind::kInfo: return "info";
+    case RequestKind::kPing: return "ping";
+  }
+  return "unknown";
+}
+
+const char* to_string(ReplyStatus status) {
+  switch (status) {
+    case ReplyStatus::kOk: return "ok";
+    case ReplyStatus::kDegraded: return "degraded";
+    case ReplyStatus::kShed: return "shed";
+    case ReplyStatus::kError: return "error";
+  }
+  return "unknown";
+}
+
+Request parse_request(const std::string& payload) {
+  NP_ASSERT(payload.size() <= kMaxFrameBytes, "parse_request: payload over bound");
+  const std::vector<std::string> tokens = tokenize(payload);
+  require_version(tokens);
+  if (tokens.size() < 2) throw ParseError("missing request verb");
+  Request request;
+  const std::string& verb = tokens[1];
+  if (verb == "check") request.kind = RequestKind::kCheck;
+  else if (verb == "cost") request.kind = RequestKind::kCost;
+  else if (verb == "info") request.kind = RequestKind::kInfo;
+  else if (verb == "ping") request.kind = RequestKind::kPing;
+  else throw ParseError("unknown request verb '" + verb + "'");
+
+  const bool takes_plan = request.kind == RequestKind::kCheck ||
+                          request.kind == RequestKind::kCost;
+  std::set<std::string> seen;
+  bool has_id = false;
+  bool has_plan = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = split_pair(tokens[i]);
+    if (!seen.insert(key).second) {
+      throw ParseError("duplicate key '" + key + "'");
+    }
+    if (key == "id") {
+      request.id = parse_long_value("id", value, 0, 1L << 60);
+      has_id = true;
+    } else if (key == "deadline_ms" && request.kind == RequestKind::kCheck) {
+      request.deadline_ms = parse_double_value("deadline_ms", value, 0.0, 1e9);
+    } else if (key == "plan" && takes_plan) {
+      request.plan = parse_plan_value(value);
+      has_plan = true;
+    } else {
+      throw ParseError("unknown key '" + key + "' for verb '" + verb + "'");
+    }
+  }
+  if (!has_id) throw ParseError("missing required key 'id'");
+  if (takes_plan && !has_plan) throw ParseError("missing required key 'plan'");
+  return request;
+}
+
+std::string encode_request(const Request& request) {
+  NP_ASSERT(request.id >= 0);
+  std::ostringstream os;
+  os << kProtocolVersion << ' ' << to_string(request.kind)
+     << " id=" << request.id;
+  if (request.kind == RequestKind::kCheck && request.deadline_ms > 0.0) {
+    os << " deadline_ms=" << request.deadline_ms;
+  }
+  if (request.kind == RequestKind::kCheck ||
+      request.kind == RequestKind::kCost) {
+    os << " plan=" << encode_plan_value(request.plan);
+  }
+  return os.str();
+}
+
+std::string encode_reply(const Reply& reply) {
+  NP_ASSERT(reply.id >= -1);
+  std::ostringstream os;
+  os << kProtocolVersion << ' ' << to_string(reply.status)
+     << " id=" << reply.id;
+  if (!reply.reason.empty()) os << " reason=" << sanitize_reason(reply.reason);
+  if (!reply.verdict.empty()) {
+    os << " feasible=" << (reply.feasible ? 1 : 0)
+       << " verdict=" << reply.verdict << " cost=" << reply.cost
+       << " unserved=" << reply.unserved_gbps
+       << " scenarios=" << reply.scenarios_checked
+       << " quarantined=" << reply.quarantined << " retries=" << reply.retries;
+  }
+  if (reply.links > 0) {
+    os << " links=" << reply.links << " scenarios=" << reply.scenarios;
+  }
+  if (reply.latency_us > 0.0) os << " latency_us=" << reply.latency_us;
+  return os.str();
+}
+
+Reply parse_reply(const std::string& payload) {
+  NP_ASSERT(payload.size() <= kMaxFrameBytes, "parse_reply: payload over bound");
+  const std::vector<std::string> tokens = tokenize(payload);
+  require_version(tokens);
+  if (tokens.size() < 2) throw ParseError("missing reply status");
+  Reply reply;
+  const std::string& status = tokens[1];
+  if (status == "ok") reply.status = ReplyStatus::kOk;
+  else if (status == "degraded") reply.status = ReplyStatus::kDegraded;
+  else if (status == "shed") reply.status = ReplyStatus::kShed;
+  else if (status == "error") reply.status = ReplyStatus::kError;
+  else throw ParseError("unknown reply status '" + status + "'");
+
+  bool has_id = false;
+  for (std::size_t i = 2; i < tokens.size(); ++i) {
+    const auto [key, value] = split_pair(tokens[i]);
+    if (key == "id") {
+      reply.id = parse_long_value("id", value, -1, 1L << 60);
+      has_id = true;
+    } else if (key == "reason") {
+      reply.reason = value;
+    } else if (key == "feasible") {
+      reply.feasible = parse_long_value("feasible", value, 0, 1) == 1;
+    } else if (key == "verdict") {
+      reply.verdict = value;
+    } else if (key == "cost") {
+      reply.cost = parse_double_value("cost", value, -1e18, 1e18);
+    } else if (key == "unserved") {
+      reply.unserved_gbps = parse_double_value("unserved", value, -1e18, 1e18);
+    } else if (key == "scenarios") {
+      reply.scenarios = parse_long_value("scenarios", value, 0, 1L << 40);
+      reply.scenarios_checked = static_cast<int>(reply.scenarios);
+    } else if (key == "quarantined") {
+      reply.quarantined =
+          static_cast<int>(parse_long_value("quarantined", value, 0, 1L << 40));
+    } else if (key == "retries") {
+      reply.retries =
+          static_cast<int>(parse_long_value("retries", value, 0, 1L << 40));
+    } else if (key == "latency_us") {
+      reply.latency_us = parse_double_value("latency_us", value, 0.0, 1e15);
+    } else if (key == "links") {
+      reply.links = parse_long_value("links", value, 0, 1L << 40);
+    } else {
+      throw ParseError("unknown reply key '" + key + "'");
+    }
+  }
+  if (!has_id) throw ParseError("missing required key 'id'");
+  return reply;
+}
+
+std::string frame(const std::string& payload) {
+  NP_ASSERT(payload.size() <= kMaxFrameBytes, "frame: payload over bound");
+  const auto length = static_cast<std::uint32_t>(payload.size());
+  std::string framed;
+  framed.reserve(4 + payload.size());
+  framed.push_back(static_cast<char>(length & 0xff));
+  framed.push_back(static_cast<char>((length >> 8) & 0xff));
+  framed.push_back(static_cast<char>((length >> 16) & 0xff));
+  framed.push_back(static_cast<char>((length >> 24) & 0xff));
+  framed += payload;
+  return framed;
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  NP_ASSERT(size == 0 || data != nullptr);
+  if (poisoned_) return;  // corrupt stream: no frame may sneak past
+  buffer_.append(data, size);
+}
+
+FrameEvent FrameReader::next(std::string* payload, std::string* error) {
+  NP_ASSERT(payload != nullptr && error != nullptr);
+  if (poisoned_) {
+    *error = poison_reason_;
+    return FrameEvent::kFatal;
+  }
+  if (buffer_.size() < 4) return FrameEvent::kNeedMore;
+  const auto byte = [&](std::size_t i) {
+    return static_cast<std::uint32_t>(static_cast<unsigned char>(buffer_[i]));
+  };
+  const std::uint32_t length =
+      byte(0) | (byte(1) << 8) | (byte(2) << 16) | (byte(3) << 24);
+  if (length > kMaxFrameBytes) {
+    // There is no resynchronizing a length-prefixed stream after a
+    // corrupt length — poison the reader so the caller replies once
+    // and hangs up.
+    poisoned_ = true;
+    poison_reason_ = "frame length " + std::to_string(length) +
+                     " exceeds the " + std::to_string(kMaxFrameBytes) +
+                     "-byte bound";
+    buffer_.clear();
+    *error = poison_reason_;
+    return FrameEvent::kFatal;
+  }
+  if (buffer_.size() < 4 + static_cast<std::size_t>(length)) {
+    return FrameEvent::kNeedMore;
+  }
+  *payload = buffer_.substr(4, length);
+  buffer_.erase(0, 4 + static_cast<std::size_t>(length));
+  return FrameEvent::kFrame;
+}
+
+}  // namespace np::serve

@@ -1,0 +1,54 @@
+// One client connection's protocol state machine: bytes in, framed
+// replies out. Transport-agnostic — np_serve wires it to a socket, the
+// --stdio mode to pipes, and tests to in-memory byte strings.
+//
+// Fault containment per connection:
+//   * a malformed payload (ParseError) costs one typed ERROR reply
+//     (id=-1) and nothing else — the connection keeps serving;
+//   * an unframeable stream (corrupt length prefix) gets one final
+//     ERROR reply, then the session reports dead() and the owner hangs
+//     up — there is no resynchronizing after a corrupt length;
+//   * engine replies are written through the same write hook and may
+//     arrive from worker threads; the hook must be thread-safe (np_serve
+//     serializes writes per connection with a mutex).
+#pragma once
+
+#include <cstddef>
+#include <functional>
+#include <string>
+
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+
+namespace np::serve {
+
+class Session {
+ public:
+  /// `write_frame` receives fully framed bytes (length prefix included)
+  /// ready for the wire. It may be called from engine worker threads
+  /// and must not throw for transport errors it can swallow (a throw is
+  /// counted by the engine, not propagated).
+  using WriteFn = std::function<void(const std::string& framed)>;
+
+  Session(Engine& engine, WriteFn write_frame);
+
+  /// Feed raw bytes from the transport; parses every complete frame and
+  /// dispatches it (replies flow through the write hook, possibly
+  /// asynchronously). Safe to call with any garbage.
+  void on_bytes(const char* data, std::size_t size);
+
+  /// True once the byte stream is unframeable; the owner should close
+  /// the connection after flushing pending writes.
+  bool dead() const { return dead_; }
+
+ private:
+  void dispatch(const std::string& payload);
+  void write_reply(const Reply& reply);
+
+  Engine& engine_;
+  WriteFn write_frame_;
+  FrameReader reader_;
+  bool dead_ = false;
+};
+
+}  // namespace np::serve

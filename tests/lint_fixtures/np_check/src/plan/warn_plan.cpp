@@ -1,0 +1,13 @@
+// np-check fixture, non-serve/ side: the same contract gap outside
+// serve/ is advisory — reported as a warning, never gating.
+struct Costing {
+  double base = 0.0;
+  double step = 0.0;
+  double quote(int units) const;
+};
+
+double Costing::quote(int units) const {
+  double total = base;
+  for (int u = 0; u < units; ++u) total += step;
+  return total;
+}

@@ -1,0 +1,30 @@
+// np-check fixture, serve/ side: a non-trivial out-of-line definition
+// with no contract is an error here, next to a covered definition and
+// a trivial accessor that both stay clean.
+struct Admission {
+  int accepted = 0;
+  int shed = 0;
+  int admit(int depth, int limit);
+  int drop(int depth, int limit);
+  int total() const;
+};
+
+// Non-trivial body, no NP_ASSERT / NP_CHECK_*: flagged as an error.
+int Admission::admit(int depth, int limit) {
+  int verdict = 0;
+  if (depth < limit) verdict = 1;
+  accepted += verdict;
+  return verdict;
+}
+
+// Covered: the contract satisfies the rule.
+int Admission::drop(int depth, int limit) {
+  NP_ASSERT(limit >= 0, "negative admission limit");
+  int verdict = 0;
+  if (depth >= limit) verdict = 1;
+  shed += verdict;
+  return verdict;
+}
+
+// Trivial accessor (fewer than three statements): exempt.
+int Admission::total() const { return accepted + shed; }

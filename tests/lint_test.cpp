@@ -92,21 +92,35 @@ TEST(LintTest, IncludeHygieneFixtureMatchesGolden) {
   expect_fixture("include_hygiene", options);
 }
 
-// The gate itself: the live tree must be clean against the checked-in
-// registries. A failure here means either an unregistered name/site, a
-// raw mutex or assert outside util/, or an include-hygiene break — the
-// diagnostic in the failure message says which line to fix.
+// Contract-coverage rule: a non-trivial out-of-line definition with no
+// NP_ASSERT / NP_CHECK_* is an error under serve/ and a warning
+// elsewhere; covered and trivial definitions in the same file must stay
+// silent.
+TEST(LintTest, NpCheckFixtureMatchesGolden) {
+  expect_fixture("np_check", np::lint::Options{});
+}
+
+// The gate itself: the live tree must be free of lint *errors* against
+// the checked-in registries (np-check warnings outside serve/ are
+// advisory coverage debt and do not gate, same as the CLI's exit
+// status). A failure here means an unregistered name/site, a raw mutex
+// or assert outside util/, an include-hygiene break, or a serve/
+// definition missing its contract — the diagnostic in the failure
+// message says which line to fix.
 TEST(LintTest, LiveSourceTreeIsClean) {
   np::lint::Options options;
   options.scan_roots = {kRepoRoot / "src", kRepoRoot / "tools"};
   options.include_roots = {kRepoRoot / "src", kRepoRoot / "tools"};
   options.obs_names_file = kRepoRoot / "docs" / "obs_names.txt";
   options.fault_sites_file = kRepoRoot / "docs" / "fault_sites.txt";
-  const auto diagnostics = run_lint(options);
+  std::vector<std::string> errors;
+  for (const auto& diagnostic : np::lint::run(options)) {
+    if (!diagnostic.warning) errors.push_back(diagnostic.to_string());
+  }
   std::ostringstream all;
-  for (const auto& line : diagnostics) all << "  " << line << "\n";
-  EXPECT_TRUE(diagnostics.empty())
-      << diagnostics.size() << " lint violation(s) in the live tree:\n"
+  for (const auto& line : errors) all << "  " << line << "\n";
+  EXPECT_TRUE(errors.empty())
+      << errors.size() << " lint violation(s) in the live tree:\n"
       << all.str();
 }
 

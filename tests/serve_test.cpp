@@ -1,0 +1,522 @@
+// np::serve test suite: wire-protocol strictness, the engine's
+// degradation ladder against ground-truth evaluator verdicts, session
+// fault containment, and the chaos acceptance scenario from
+// docs/INTERNALS.md §10 — under injected worker faults (including a
+// stall wedge watched by the watchdog) every accepted query gets
+// exactly one OK/DEGRADED/SHED/ERROR reply and the engine drains clean.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <future>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "obs/watchdog.hpp"
+#include "plan/evaluator.hpp"
+#include "serve/engine.hpp"
+#include "serve/protocol.hpp"
+#include "serve/session.hpp"
+#include "topo/generator.hpp"
+#include "util/fault.hpp"
+
+namespace np::serve {
+namespace {
+
+/// Collects engine replies across threads; tests block on exact counts
+/// so "exactly one reply per submit" is an assertion, not an assumption.
+class ReplyBox {
+ public:
+  void operator()(const Reply& reply) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    replies_.push_back(reply);
+    cv_.notify_all();
+  }
+
+  std::vector<Reply> wait_for(std::size_t count) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const bool done = cv_.wait_for(lock, std::chrono::seconds(60),
+                                   [&] { return replies_.size() >= count; });
+    EXPECT_TRUE(done) << "only " << replies_.size() << " of " << count
+                      << " replies arrived";
+    return replies_;
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<Reply> replies_;
+};
+
+Request check_request(long id, const topo::Topology& topology, int units,
+                      double deadline_ms = 0.0) {
+  Request request;
+  request.kind = RequestKind::kCheck;
+  request.id = id;
+  request.deadline_ms = deadline_ms;
+  request.plan.assign(static_cast<std::size_t>(topology.num_links()), units);
+  return request;
+}
+
+class ServeTest : public ::testing::Test {
+ protected:
+  void SetUp() override { util::FaultInjector::instance().disarm_all(); }
+  void TearDown() override {
+    util::FaultInjector::instance().disarm_all();
+    obs::Watchdog::instance().stop();
+  }
+};
+
+// ---- protocol ----
+
+TEST_F(ServeTest, RequestRoundTripsThroughEncodeParse) {
+  Request request;
+  request.kind = RequestKind::kCheck;
+  request.id = 42;
+  request.deadline_ms = 125.5;
+  request.plan = {0, 3, 1, 0, 7};
+  const Request parsed = parse_request(encode_request(request));
+  EXPECT_EQ(parsed.kind, RequestKind::kCheck);
+  EXPECT_EQ(parsed.id, 42);
+  EXPECT_DOUBLE_EQ(parsed.deadline_ms, 125.5);
+  EXPECT_EQ(parsed.plan, request.plan);
+
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  ping.id = 7;
+  EXPECT_EQ(parse_request(encode_request(ping)).kind, RequestKind::kPing);
+}
+
+TEST_F(ServeTest, ReplyRoundTripsThroughEncodeParse) {
+  Reply reply;
+  reply.status = ReplyStatus::kDegraded;
+  reply.id = 9;
+  reply.reason = "deadline";
+  reply.verdict = "unknown";
+  reply.scenarios_checked = 4;
+  reply.quarantined = 1;
+  reply.retries = 1;
+  reply.latency_us = 1234.0;
+  const Reply parsed = parse_reply(encode_reply(reply));
+  EXPECT_EQ(parsed.status, ReplyStatus::kDegraded);
+  EXPECT_EQ(parsed.id, 9);
+  EXPECT_EQ(parsed.reason, "deadline");
+  EXPECT_EQ(parsed.verdict, "unknown");
+  EXPECT_EQ(parsed.scenarios_checked, 4);
+  EXPECT_EQ(parsed.quarantined, 1);
+  EXPECT_EQ(parsed.retries, 1);
+}
+
+TEST_F(ServeTest, ParserRejectsEveryDeviationFromTheSchema) {
+  // Wrong or missing version token.
+  EXPECT_THROW(parse_request("np0 ping id=1"), ParseError);
+  EXPECT_THROW(parse_request("ping id=1"), ParseError);
+  // Unknown verb, unknown key, key not allowed for the verb.
+  EXPECT_THROW(parse_request("np1 explode id=1"), ParseError);
+  EXPECT_THROW(parse_request("np1 ping id=1 color=red"), ParseError);
+  EXPECT_THROW(parse_request("np1 ping id=1 plan=1,2"), ParseError);
+  // Missing / duplicate / malformed values.
+  EXPECT_THROW(parse_request("np1 check plan=1,2"), ParseError);
+  EXPECT_THROW(parse_request("np1 ping id=1 id=2"), ParseError);
+  EXPECT_THROW(parse_request("np1 ping id=banana"), ParseError);
+  EXPECT_THROW(parse_request("np1 check id=1 plan=1,,2"), ParseError);
+  EXPECT_THROW(parse_request("np1 check id=1 plan=1,-2"), ParseError);
+  EXPECT_THROW(parse_request(""), ParseError);
+}
+
+TEST_F(ServeTest, FrameReaderReassemblesByteDribbles) {
+  const std::string framed = frame("np1 ping id=3");
+  FrameReader reader;
+  std::string payload;
+  std::string error;
+  for (std::size_t i = 0; i + 1 < framed.size(); ++i) {
+    reader.feed(&framed[i], 1);
+    EXPECT_EQ(reader.next(&payload, &error), FrameEvent::kNeedMore);
+  }
+  reader.feed(&framed[framed.size() - 1], 1);
+  ASSERT_EQ(reader.next(&payload, &error), FrameEvent::kFrame);
+  EXPECT_EQ(payload, "np1 ping id=3");
+  EXPECT_EQ(reader.next(&payload, &error), FrameEvent::kNeedMore);
+}
+
+TEST_F(ServeTest, FrameReaderPoisonsOnOversizedLength) {
+  FrameReader reader;
+  const char huge[4] = {'\xff', '\xff', '\xff', '\x7f'};
+  reader.feed(huge, sizeof(huge));
+  std::string payload;
+  std::string error;
+  EXPECT_EQ(reader.next(&payload, &error), FrameEvent::kFatal);
+  EXPECT_FALSE(error.empty());
+  // Poisoned: later feeds cannot smuggle frames past the corruption.
+  const std::string framed = frame("np1 ping id=1");
+  reader.feed(framed.data(), framed.size());
+  EXPECT_EQ(reader.next(&payload, &error), FrameEvent::kFatal);
+}
+
+// ---- engine: the happy rungs of the ladder ----
+
+TEST_F(ServeTest, CheckVerdictsMatchGroundTruthEvaluator) {
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(topology, config);
+
+  plan::PlanEvaluator truth(topology, plan::EvaluatorMode::kVanilla);
+  for (const int units : {0, 2}) {
+    std::vector<int> total = topology.initial_units();
+    for (int& u : total) u += units;
+    const plan::CheckResult expected = truth.check(total);
+    ASSERT_NE(expected.verdict, plan::Verdict::kUnknown);
+
+    ReplyBox box;
+    engine.submit(check_request(units, topology, units), std::ref(box));
+    const Reply reply = box.wait_for(1).at(0);
+    EXPECT_EQ(reply.status, ReplyStatus::kOk);
+    EXPECT_EQ(reply.feasible, expected.feasible);
+    EXPECT_EQ(reply.verdict, plan::to_string(expected.verdict));
+    const std::vector<int> added(static_cast<std::size_t>(topology.num_links()),
+                                 units);
+    EXPECT_DOUBLE_EQ(reply.cost, topology.plan_cost(added));
+  }
+  EXPECT_EQ(engine.stats().ok, 2);
+  EXPECT_EQ(engine.stats().queries, 2);
+}
+
+TEST_F(ServeTest, CostQuotesAndPingInfoAnswerInline) {
+  const topo::Topology topology = topo::make_preset('A');
+  Engine engine(topology, EngineConfig{});
+
+  ReplyBox box;
+  Request cost = check_request(1, topology, 1);
+  cost.kind = RequestKind::kCost;
+  engine.submit(cost, std::ref(box));
+
+  Request info;
+  info.kind = RequestKind::kInfo;
+  info.id = 2;
+  engine.submit(info, std::ref(box));
+
+  Request ping;
+  ping.kind = RequestKind::kPing;
+  ping.id = 3;
+  engine.submit(ping, std::ref(box));
+
+  const std::vector<Reply> replies = box.wait_for(3);
+  for (const Reply& reply : replies) {
+    EXPECT_EQ(reply.status, ReplyStatus::kOk);
+    if (reply.id == 1) {
+      EXPECT_DOUBLE_EQ(reply.cost, topology.plan_cost(cost.plan));
+    }
+    if (reply.id == 2) {
+      EXPECT_EQ(reply.links, topology.num_links());
+      EXPECT_EQ(reply.scenarios, topology.num_failures() + 1);
+    }
+  }
+}
+
+TEST_F(ServeTest, MalformedPlanIsATypedErrorNotACrash) {
+  const topo::Topology topology = topo::make_preset('A');
+  Engine engine(topology, EngineConfig{});
+
+  ReplyBox box;
+  Request bad = check_request(1, topology, 1);
+  bad.plan.pop_back();
+  engine.submit(bad, std::ref(box));
+  Request negative = check_request(2, topology, 1);
+  negative.plan[0] = -4;
+  engine.submit(negative, std::ref(box));
+
+  const std::vector<Reply> replies = box.wait_for(2);
+  EXPECT_EQ(replies[0].status, ReplyStatus::kError);
+  EXPECT_EQ(replies[0].reason, "bad_plan_size");
+  EXPECT_EQ(replies[1].status, ReplyStatus::kError);
+  EXPECT_EQ(replies[1].reason, "bad_plan_units");
+  EXPECT_EQ(engine.stats().errors, 2);
+}
+
+// ---- engine: degradation ----
+
+TEST_F(ServeTest, ExpiredDeadlineDegradesToUnknown) {
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(topology, config);
+
+  // ~1us of budget is always gone by the time a worker dequeues.
+  ReplyBox box;
+  engine.submit(check_request(1, topology, 1, /*deadline_ms=*/0.001),
+                std::ref(box));
+  const Reply reply = box.wait_for(1).at(0);
+  EXPECT_EQ(reply.status, ReplyStatus::kDegraded);
+  EXPECT_EQ(reply.reason, "deadline");
+  EXPECT_EQ(reply.verdict, "unknown");
+  EXPECT_EQ(engine.stats().degraded, 1);
+}
+
+TEST_F(ServeTest, SaturatedQueueShedsInsteadOfQueueingUnbounded) {
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  config.queue_capacity = 1;
+  Engine engine(topology, config);
+
+  // Wedge the single worker inside query 0's delivery so the admission
+  // decisions are deterministic: exactly one queue slot free, then
+  // sheds.
+  std::promise<void> entered;
+  std::promise<void> release;
+  std::shared_future<void> gate = release.get_future().share();
+  ReplyBox box;
+  engine.submit(check_request(0, topology, 1), [&, gate](const Reply& reply) {
+    entered.set_value();
+    gate.wait();
+    box(reply);
+  });
+  entered.get_future().wait();
+
+  engine.submit(check_request(1, topology, 1), std::ref(box));  // queued
+  constexpr long kOverflow = 10;
+  for (long id = 2; id < 2 + kOverflow; ++id) {
+    engine.submit(check_request(id, topology, 1), std::ref(box));  // shed
+  }
+  release.set_value();
+
+  const std::vector<Reply> replies = box.wait_for(2 + kOverflow);
+  EXPECT_EQ(replies.size(), static_cast<std::size_t>(2 + kOverflow));
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.shed, kOverflow);
+  EXPECT_EQ(stats.ok, 2);
+  for (const Reply& reply : replies) {
+    if (reply.status == ReplyStatus::kShed) {
+      EXPECT_EQ(reply.reason, "queue_full");
+    }
+  }
+}
+
+TEST_F(ServeTest, DrainShedsNewWorkAndAnswersEverythingAccepted) {
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 2;
+  Engine engine(topology, config);
+
+  ReplyBox box;
+  for (long id = 0; id < 10; ++id) {
+    engine.submit(check_request(id, topology, 1), std::ref(box));
+  }
+  engine.drain();
+  // Everything admitted before the drain is answered by the time
+  // drain() returns; a post-drain submit is shed synchronously.
+  engine.submit(check_request(99, topology, 1), std::ref(box));
+  const std::vector<Reply> replies = box.wait_for(11);
+  EXPECT_EQ(replies.size(), 11u);
+  EXPECT_EQ(replies.back().status, ReplyStatus::kShed);
+  EXPECT_EQ(replies.back().reason, "draining");
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, 11);
+  EXPECT_EQ(stats.ok + stats.shed + stats.degraded + stats.errors, 11);
+}
+
+// ---- session fault containment ----
+
+TEST_F(ServeTest, SessionSurvivesMalformedPayloadAndDiesOnCorruptLength) {
+  const topo::Topology topology = topo::make_preset('A');
+  Engine engine(topology, EngineConfig{});
+  std::mutex mutex;
+  std::vector<std::string> frames;
+  Session session(engine, [&](const std::string& framed) {
+    std::lock_guard<std::mutex> lock(mutex);
+    frames.push_back(framed);
+  });
+
+  // Malformed payload: one typed ERROR (id=-1), connection lives.
+  const std::string garbage = frame("np1 bogus id=!!");
+  session.on_bytes(garbage.data(), garbage.size());
+  ASSERT_EQ(frames.size(), 1u);
+  {
+    FrameReader reader;
+    reader.feed(frames[0].data(), frames[0].size());
+    std::string payload;
+    std::string error;
+    ASSERT_EQ(reader.next(&payload, &error), FrameEvent::kFrame);
+    const Reply reply = parse_reply(payload);
+    EXPECT_EQ(reply.status, ReplyStatus::kError);
+    EXPECT_EQ(reply.id, -1);
+  }
+  EXPECT_FALSE(session.dead());
+
+  // The same session still serves valid traffic afterwards.
+  const std::string ping = frame("np1 ping id=5");
+  session.on_bytes(ping.data(), ping.size());
+  ASSERT_EQ(frames.size(), 2u);
+
+  // A corrupt length prefix is fatal: one goodbye error, then dead.
+  const char huge[4] = {'\xff', '\xff', '\xff', '\x7f'};
+  session.on_bytes(huge, sizeof(huge));
+  EXPECT_TRUE(session.dead());
+  ASSERT_EQ(frames.size(), 3u);
+  // Dead sessions ignore further input entirely.
+  session.on_bytes(ping.data(), ping.size());
+  EXPECT_EQ(frames.size(), 3u);
+}
+
+// ---- fault-injected ladder rungs (need NEUROPLAN_FAULTS=ON) ----
+
+TEST_F(ServeTest, TransientWorkerFaultRetriesOnceThenAnswersOk) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(topology, config);
+
+  util::FaultInjector::instance().arm("serve.worker", util::FaultSpec{0.0, 1});
+  ReplyBox box;
+  engine.submit(check_request(1, topology, 1), std::ref(box));
+  const Reply reply = box.wait_for(1).at(0);
+  EXPECT_EQ(reply.status, ReplyStatus::kOk);
+  EXPECT_EQ(reply.retries, 1);
+  EXPECT_EQ(engine.stats().retries, 1);
+  EXPECT_EQ(engine.stats().ok, 1);
+}
+
+TEST_F(ServeTest, TransientScenarioFaultRetriesColdThenAnswersOk) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(topology, config);
+
+  // One LP refactorization fault: the first scenario solve dies, the
+  // cold retry succeeds — OK with the retry counted, nothing
+  // quarantined.
+  util::FaultInjector::instance().arm("lp.refactor", util::FaultSpec{0.0, 1});
+  ReplyBox box;
+  engine.submit(check_request(1, topology, 1), std::ref(box));
+  const Reply reply = box.wait_for(1).at(0);
+  EXPECT_EQ(reply.status, ReplyStatus::kOk);
+  EXPECT_EQ(reply.retries, 1);
+  EXPECT_TRUE(engine.quarantined_scenarios().empty());
+}
+
+TEST_F(ServeTest, PersistentScenarioFaultQuarantinesAndKeepsServing) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 1;
+  Engine engine(topology, config);
+
+  // Every solve fails: the retry fails too, so the offending scenario
+  // is quarantined and the query degrades instead of crashing the
+  // shard.
+  util::FaultSpec always;
+  always.probability = 1.0;
+  util::FaultInjector::instance().arm("lp.refactor", always);
+  ReplyBox box;
+  engine.submit(check_request(1, topology, 1), std::ref(box));
+  const Reply faulted = box.wait_for(1).at(0);
+  EXPECT_EQ(faulted.status, ReplyStatus::kDegraded);
+  EXPECT_EQ(faulted.reason, "quarantined");
+  EXPECT_FALSE(engine.quarantined_scenarios().empty());
+  EXPECT_GE(engine.stats().quarantined, 1);
+
+  // Faults cleared: the quarantine outlives them. A plan that passes
+  // every solved scenario cannot be trusted while scenarios are
+  // skipped, so the reply is DEGRADED kUnknown (a definitive
+  // infeasibility at a non-quarantined scenario would still answer OK).
+  util::FaultInjector::instance().disarm_all();
+  plan::PlanEvaluator truth(topology, plan::EvaluatorMode::kVanilla);
+  int units = 1;
+  for (; units <= 64; units *= 2) {
+    std::vector<int> total = topology.initial_units();
+    for (int& u : total) u += units;
+    if (truth.check(total).feasible) break;
+  }
+  ASSERT_LE(units, 64) << "no feasible uniform plan on preset A";
+  engine.submit(check_request(2, topology, units), std::ref(box));
+  const Reply after = box.wait_for(2).at(1);
+  EXPECT_EQ(after.status, ReplyStatus::kDegraded);
+  EXPECT_EQ(after.reason, "quarantined");
+  EXPECT_GT(after.scenarios_checked, 0);
+  EXPECT_GT(after.quarantined, 0);
+}
+
+// ---- chaos acceptance (ISSUE: the robustness contract, end to end) ----
+
+TEST_F(ServeTest, ChaosEveryAcceptedQueryGetsExactlyOneReplyAndDrainIsClean) {
+  if (!NP_FAULTS_ENABLED) GTEST_SKIP() << "built without NEUROPLAN_FAULTS";
+  const topo::Topology topology = topo::make_preset('A');
+  EngineConfig config;
+  config.workers = 2;
+  config.queue_capacity = 16;
+  config.default_deadline_ms = 200.0;
+  config.max_backlog_ms = 2000.0;
+  Engine engine(topology, config);
+
+  obs::WatchdogConfig watchdog;
+  watchdog.stall_seconds = 0.05;
+  obs::Watchdog::instance().start(watchdog);
+  const long stalls_before = obs::Watchdog::instance().stalls_flagged();
+
+  // Phase 1: wedge a worker mid-query for far longer than the watchdog
+  // interval (and the query deadline). The worker must get flagged, the
+  // query must still terminate (degraded on its deadline), nothing may
+  // crash.
+  util::FaultSpec wedge;
+  wedge.nth_call = 1;
+  wedge.stall_ms = 400;
+  util::FaultInjector::instance().arm("serve.worker", wedge);
+
+  constexpr long kPhase1 = 30;
+  ReplyBox box;
+  const double deadlines[] = {5.0, 50.0, 0.0};  // mixed deadline classes
+  for (long id = 0; id < kPhase1; ++id) {
+    engine.submit(check_request(id, topology, 1, deadlines[id % 3]),
+                  std::ref(box));
+  }
+  box.wait_for(kPhase1);
+  EXPECT_GT(obs::Watchdog::instance().stalls_flagged(), stalls_before)
+      << "watchdog missed the wedged serve worker";
+
+  // Phase 2: random worker faults under continued load.
+  util::FaultSpec flaky;
+  flaky.probability = 0.3;
+  util::FaultInjector::instance().arm("serve.worker", flaky);
+  constexpr long kPhase2 = 70;
+  for (long id = kPhase1; id < kPhase1 + kPhase2; ++id) {
+    engine.submit(check_request(id, topology, 1, deadlines[id % 3]),
+                  std::ref(box));
+  }
+  const std::vector<Reply> replies = box.wait_for(kPhase1 + kPhase2);
+  util::FaultInjector::instance().disarm_all();
+
+  // Exactly one terminal reply per submission, each a ladder state.
+  ASSERT_EQ(replies.size(), static_cast<std::size_t>(kPhase1 + kPhase2));
+  std::vector<int> seen(static_cast<std::size_t>(kPhase1 + kPhase2), 0);
+  for (const Reply& reply : replies) {
+    ASSERT_GE(reply.id, 0);
+    ASSERT_LT(reply.id, kPhase1 + kPhase2);
+    ++seen[static_cast<std::size_t>(reply.id)];
+    EXPECT_TRUE(reply.status == ReplyStatus::kOk ||
+                reply.status == ReplyStatus::kDegraded ||
+                reply.status == ReplyStatus::kShed ||
+                reply.status == ReplyStatus::kError)
+        << "unexpected status for id " << reply.id;
+  }
+  for (long id = 0; id < kPhase1 + kPhase2; ++id) {
+    EXPECT_EQ(seen[static_cast<std::size_t>(id)], 1)
+        << "query " << id << " answered " << seen[static_cast<std::size_t>(id)]
+        << " times";
+  }
+  const EngineStats stats = engine.stats();
+  EXPECT_EQ(stats.queries, kPhase1 + kPhase2);
+  EXPECT_EQ(stats.ok + stats.degraded + stats.shed + stats.errors,
+            kPhase1 + kPhase2);
+
+  // Clean drain with faults disarmed: no stuck workers, no leftovers.
+  engine.drain();
+  EXPECT_TRUE(engine.draining());
+}
+
+}  // namespace
+}  // namespace np::serve

@@ -81,6 +81,23 @@ void diff_documents(const np_json::Value& base, const np_json::Value& cand,
   flatten(base, "", before);
   flatten(cand, "", after);
 
+  // Benches stamp hw_warning.thread_starved when recorded on a single
+  // hardware thread (bench_common.hpp): scaling series from such a run
+  // measure contention, not parallel speedup, so say it loudly before
+  // anyone reads a worker curve off this table.
+  for (const auto* side : {&before, &after}) {
+    for (const auto& [path, value] : *side) {
+      if (value != 0.0 && path.size() >= 25 &&
+          path.rfind("hw_warning.thread_starved") ==
+              path.size() - 25) {
+        std::printf("%s: NOTICE %s run is thread-starved (hw_threads <= 1) — "
+                    "worker-scaling numbers measure contention, not speedup\n",
+                    label.c_str(), side == &before ? "baseline" : "candidate");
+        break;
+      }
+    }
+  }
+
   for (const auto& [path, was] : before) {
     const auto it = after.find(path);
     if (it == after.end()) {

@@ -15,7 +15,9 @@ namespace fs = std::filesystem;
 
 std::string Diagnostic::to_string() const {
   std::ostringstream os;
-  os << file << ':' << line << ": " << rule << ": " << message;
+  os << file << ':' << line << ": " << rule << ": ";
+  if (warning) os << "warning: ";
+  os << message;
   return os.str();
 }
 
@@ -357,6 +359,151 @@ void check_span_nesting(
   }
 }
 
+/// np-check scan over one .cpp file: find out-of-line member-function
+/// definitions (`Qualified::name(...) ... {`), extract each body via
+/// the token view's brace structure, and flag bodies that contain no
+/// NP_ASSERT / NP_CHECK_* contract. Purely lexical, so the matcher is
+/// deliberately conservative: anything that does not look exactly like
+/// a definition (assignments, calls, declarations, destructors) is
+/// skipped rather than guessed at.
+void check_np_check_coverage(const SourceFile& file,
+                             std::vector<Diagnostic>& out) {
+  // Qualified name followed by an open paren. Free functions are out of
+  // scope on purpose — the rule targets class entry points, and a
+  // qualified-name definition is lexically unambiguous enough to match.
+  static const std::regex kDefRe(
+      "([A-Za-z_]\\w*(?:::~?[A-Za-z_]\\w*)+)\\s*\\(");
+  std::string code, tokens;
+  for (const std::string& line : file.views.code) {
+    code += line;
+    code += '\n';
+  }
+  for (const std::string& line : file.views.tokens) {
+    tokens += line;
+    tokens += '\n';
+  }
+  const auto line_of = [&](std::size_t offset) {
+    return 1 + static_cast<int>(
+                   std::count(code.begin(),
+                              code.begin() + static_cast<long>(offset), '\n'));
+  };
+  auto begin = std::sregex_iterator(code.begin(), code.end(), kDefRe);
+  for (auto it = begin; it != std::sregex_iterator(); ++it) {
+    const std::string name = (*it)[1].str();
+    if (name.find("::~") != std::string::npos) continue;  // destructors
+    const auto name_pos = static_cast<std::size_t>(it->position(0));
+    const auto paren_pos =
+        static_cast<std::size_t>(it->position(0) + it->length(0)) - 1;
+
+    // Back-scan: the text between the previous statement/brace boundary
+    // and the name must look like a declaration prefix (return type,
+    // qualifiers, templates) — an '=', '(', '.', '"' or any operator
+    // character means expression context, not a definition.
+    // Preprocessor lines in the gap are ignored.
+    std::size_t prefix_start = name_pos;
+    while (prefix_start > 0) {
+      const char c = code[prefix_start - 1];
+      if (c == ';' || c == '{' || c == '}') break;
+      --prefix_start;
+    }
+    bool prefix_ok = true;
+    {
+      std::istringstream prefix(code.substr(prefix_start, name_pos - prefix_start));
+      std::string line;
+      while (std::getline(prefix, line)) {
+        std::size_t first = line.find_first_not_of(" \t");
+        if (first == std::string::npos) continue;
+        if (line[first] == '#') continue;  // preprocessor line
+        for (std::size_t i = first; i < line.size(); ++i) {
+          const char c = line[i];
+          const bool ok = is_word_char(c) || std::isspace(static_cast<unsigned char>(c)) != 0 ||
+                          c == ':' || c == '<' || c == '>' || c == ',' ||
+                          c == '*' || c == '&' || c == '[' || c == ']';
+          if (!ok) {
+            prefix_ok = false;
+            break;
+          }
+        }
+        if (!prefix_ok) break;
+      }
+    }
+    if (!prefix_ok) continue;
+
+    // Find the parameter list's matching close paren (token view:
+    // parens inside string literals are blanked).
+    std::size_t pos = paren_pos;
+    int paren_depth = 0;
+    while (pos < tokens.size()) {
+      if (tokens[pos] == '(') ++paren_depth;
+      else if (tokens[pos] == ')' && --paren_depth == 0) break;
+      ++pos;
+    }
+    if (pos >= tokens.size()) continue;
+    ++pos;
+
+    // Between the parameter list and the body: qualifiers, noexcept
+    // clauses, trailing return types and constructor-initializer lists
+    // are fine; a ';' means declaration, a '.' means chained call, and
+    // anything else unexpected means this was not a definition.
+    std::size_t body_start = std::string::npos;
+    while (pos < tokens.size()) {
+      const char c = tokens[pos];
+      if (c == '{') {
+        body_start = pos;
+        break;
+      }
+      if (c == '(') {  // skip a group: noexcept(...), member-init args
+        int group = 0;
+        while (pos < tokens.size()) {
+          if (tokens[pos] == '(') ++group;
+          else if (tokens[pos] == ')' && --group == 0) break;
+          ++pos;
+        }
+        if (pos >= tokens.size()) break;
+        ++pos;
+        continue;
+      }
+      const bool ok = is_word_char(c) ||
+                      std::isspace(static_cast<unsigned char>(c)) != 0 ||
+                      c == ':' || c == ',' || c == '<' || c == '>' ||
+                      c == '-' || c == '&' || c == '*';
+      if (!ok) break;  // ';' (declaration), '.' (call chain), '=', ...
+      ++pos;
+    }
+    if (body_start == std::string::npos) continue;
+
+    // Body = matching brace block in the token view.
+    std::size_t body_end = body_start;
+    int brace_depth = 0;
+    while (body_end < tokens.size()) {
+      if (tokens[body_end] == '{') ++brace_depth;
+      else if (tokens[body_end] == '}' && --brace_depth == 0) break;
+      ++body_end;
+    }
+    if (body_end >= tokens.size()) continue;
+    const std::string body = tokens.substr(body_start, body_end - body_start);
+
+    // Trivial bodies (accessors, forwarding shims) are exempt: fewer
+    // than three statements rarely have a contract worth stating.
+    if (std::count(body.begin(), body.end(), ';') < 3) continue;
+    if (body.find("NP_ASSERT") != std::string::npos ||
+        body.find("NP_CHECK") != std::string::npos) {
+      continue;
+    }
+    const bool serving = file.relative.rfind("serve/", 0) == 0;
+    out.push_back(Diagnostic{
+        file.display, line_of(name_pos), "np-check",
+        serving
+            ? "serving entry point '" + name +
+                  "' has no NP_ASSERT / NP_CHECK_* contract — serve/ "
+                  "definitions face untrusted input and must validate it"
+            : "'" + name +
+                  "' has no NP_ASSERT / NP_CHECK_* contract — consider "
+                  "stating the function's preconditions",
+        /*warning=*/!serving});
+  }
+}
+
 const char* wrapper_for(const std::string& token) {
   if (token == "std::lock_guard" || token == "std::unique_lock" ||
       token == "std::scoped_lock" || token == "std::shared_lock") {
@@ -599,6 +746,14 @@ std::vector<Diagnostic> run(const Options& options) {
       diagnostics.push_back(Diagnostic{file.display, 1, "include-hygiene",
                                        "header is missing #pragma once"});
     }
+  }
+
+  // ---- np-check: contract coverage for out-of-line definitions.
+  // Headers are exempt: inline accessors and template bodies live there,
+  // and the rule targets the .cpp entry points that do the real work.
+  for (const SourceFile& file : files) {
+    if (file.is_header) continue;
+    check_np_check_coverage(file, diagnostics);
   }
 
   std::sort(diagnostics.begin(), diagnostics.end(),

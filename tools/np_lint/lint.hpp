@@ -31,6 +31,14 @@
 //   include-hygiene quoted includes must be project-relative (no "../",
 //                   no "build/", must resolve under an include root)
 //                   and every header carries #pragma once.
+//   np-check        out-of-line member-function definitions in .cpp
+//                   files with a non-trivial body must carry at least
+//                   one NP_ASSERT / NP_CHECK_* contract. Gaps under
+//                   src/serve/ are errors (serving entry points face
+//                   untrusted input and must validate it); gaps
+//                   anywhere else are warnings — reported but not
+//                   gating, so coverage debt is visible without
+//                   blocking unrelated work.
 //
 // The analysis is lexical but comment- and string-aware: a state
 // machine strips // and /* */ comments (and, for token rules, string
@@ -49,8 +57,13 @@ struct Diagnostic {
   int line = 0;      ///< 1-based
   std::string rule;
   std::string message;
+  /// Advisory only: reported but must not gate (main exits 0 when every
+  /// diagnostic is a warning). Defaults to error — the pre-existing
+  /// rules all gate.
+  bool warning = false;
 
-  /// "file:line: rule: message" — the format CI and editors parse.
+  /// "file:line: rule: message" (warnings insert "warning: " after the
+  /// rule) — the format CI and editors parse.
   std::string to_string() const;
 };
 

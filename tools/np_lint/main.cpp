@@ -13,8 +13,10 @@
 //           [--obs-names FILE] [--fault-sites FILE]
 //
 // Output: one "file:line: rule: message" diagnostic per line on
-// stdout. Exit 0 = clean, 1 = violations found, 2 = usage or I/O
-// error (an unreadable tree must never read as "clean").
+// stdout. Exit 0 = clean (warnings may still print — they are
+// advisory), 1 = violations found, 2 = usage or I/O error (an
+// unreadable tree must never read as "clean").
+#include <cstddef>
 #include <cstdio>
 #include <cstring>
 #include <exception>
@@ -67,15 +69,24 @@ int main(int argc, char** argv) {
 
   try {
     const auto diagnostics = np::lint::run(options);
+    std::size_t errors = 0;
+    std::size_t warnings = 0;
     for (const auto& d : diagnostics) {
       std::printf("%s\n", d.to_string().c_str());
+      ++(d.warning ? warnings : errors);
     }
-    if (!diagnostics.empty()) {
-      std::fprintf(stderr, "np_lint: %zu violation%s\n", diagnostics.size(),
-                   diagnostics.size() == 1 ? "" : "s");
+    if (errors > 0) {
+      std::fprintf(stderr, "np_lint: %zu violation%s, %zu warning%s\n", errors,
+                   errors == 1 ? "" : "s", warnings,
+                   warnings == 1 ? "" : "s");
       return 1;
     }
-    std::fprintf(stderr, "np_lint: clean\n");
+    if (warnings > 0) {
+      std::fprintf(stderr, "np_lint: clean (%zu warning%s)\n", warnings,
+                   warnings == 1 ? "" : "s");
+    } else {
+      std::fprintf(stderr, "np_lint: clean\n");
+    }
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "np_lint: error: %s\n", e.what());

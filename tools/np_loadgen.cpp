@@ -1,0 +1,426 @@
+// np_loadgen — open-loop load generator and chaos client for np_serve.
+//
+//   np_loadgen --port <n> [options]
+//
+// Connects to a running np_serve, learns the topology shape with an
+// `info` query, then fires plan-check queries at a fixed arrival rate
+// regardless of how fast replies come back (open loop: overload shows
+// up as SHED/DEGRADED rates and latency, not as a slower generator).
+//
+// Options:
+//   --port <n>              np_serve port (required)
+//   --host <a.b.c.d>        server address (default 127.0.0.1)
+//   --connections <n>       parallel connections (default 1)
+//   --rate <x>              queries/second across all connections
+//                           (default 50)
+//   --duration-s <x>        send window in seconds (default 2)
+//   --deadline-ms-mix <a,b> per-query deadlines drawn uniformly from
+//                           this list; 0 = no deadline (default "0")
+//   --malformed-pct <x>     percent of frames replaced by garbage
+//                           (parse errors and corrupt length prefixes)
+//   --kill-connections <n>  abruptly close and reopen a connection
+//                           mid-frame this many times (chaos)
+//   --seed <n>              rng seed (default 1)
+//   --help                  this text, exit 0
+//
+// Prints one summary line per status plus p50/p99 latency, and exits 0
+// when the run completed (whatever the reply mix was — judging the mix
+// is the caller's job).
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "serve/protocol.hpp"
+#include "util/mutex.hpp"
+#include "util/rng.hpp"
+#include "util/stopwatch.hpp"
+
+namespace {
+
+using namespace np;
+
+int usage(std::FILE* out) {
+  std::fprintf(
+      out,
+      "usage: np_loadgen --port <n> [options]\n"
+      "  --host <addr>           server address (default 127.0.0.1)\n"
+      "  --connections <n>       parallel connections (default 1)\n"
+      "  --rate <x>              queries/second, open loop (default 50)\n"
+      "  --duration-s <x>        send window seconds (default 2)\n"
+      "  --deadline-ms-mix <csv> per-query deadline pool, 0 = none\n"
+      "  --malformed-pct <x>     percent garbage frames (chaos)\n"
+      "  --kill-connections <n>  mid-frame disconnects (chaos)\n"
+      "  --seed <n>              rng seed (default 1)\n");
+  return out == stdout ? 0 : 2;
+}
+
+long parse_long_arg(const char* what, const char* text, long min_value,
+                    long max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error(std::string(what) + ": expected an integer, got '" +
+                             text + "'");
+  }
+  if (value < min_value || value > max_value) {
+    throw std::runtime_error(std::string(what) + ": value " + text +
+                             " out of range [" + std::to_string(min_value) +
+                             ", " + std::to_string(max_value) + "]");
+  }
+  return value;
+}
+
+double parse_double_arg(const char* what, const char* text, double min_value,
+                        double max_value) {
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0' || errno == ERANGE) {
+    throw std::runtime_error(std::string(what) + ": expected a number, got '" +
+                             text + "'");
+  }
+  if (!(value >= min_value && value <= max_value)) {
+    throw std::runtime_error(std::string(what) + ": value " + text +
+                             " out of range");
+  }
+  return value;
+}
+
+double steady_now_us() {
+  return std::chrono::duration<double, std::micro>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+int dial(const std::string& host, long port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) throw std::runtime_error("socket failed");
+  sockaddr_in addr;
+  std::memset(&addr, 0, sizeof addr);
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    throw std::runtime_error("bad host address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    ::close(fd);
+    throw std::runtime_error("connect " + host + ":" + std::to_string(port) +
+                             ": " + std::strerror(errno));
+  }
+  return fd;
+}
+
+void send_all(int fd, const std::string& bytes) {
+  std::size_t off = 0;
+  while (off < bytes.size()) {
+    const ssize_t n = ::send(fd, bytes.data() + off, bytes.size() - off,
+                             MSG_NOSIGNAL);
+    if (n <= 0) return;  // connection chaos is expected; the tally shows it
+    off += static_cast<std::size_t>(n);
+  }
+}
+
+/// Synchronous framed request/reply on one connection (setup queries).
+serve::Reply call(int fd, const serve::Request& request) {
+  send_all(fd, serve::frame(serve::encode_request(request)));
+  serve::FrameReader reader;
+  std::string payload;
+  std::string error;
+  char buffer[4096];
+  for (;;) {
+    switch (reader.next(&payload, &error)) {
+      case serve::FrameEvent::kFrame:
+        return serve::parse_reply(payload);
+      case serve::FrameEvent::kFatal:
+        throw std::runtime_error("unframeable reply: " + error);
+      case serve::FrameEvent::kNeedMore:
+        break;
+    }
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) throw std::runtime_error("server closed during setup");
+    reader.feed(buffer, static_cast<std::size_t>(n));
+  }
+}
+
+struct Tally {
+  std::atomic<long> sent{0};
+  std::atomic<long> ok{0};
+  std::atomic<long> degraded{0};
+  std::atomic<long> shed{0};
+  std::atomic<long> error{0};
+  std::atomic<long> malformed_sent{0};
+  std::atomic<long> kills{0};
+  util::Mutex mutex;
+  std::vector<double> latencies_us NP_GUARDED_BY(mutex);
+};
+
+/// Send timestamps by id, shared between one connection's sender and
+/// its reply reader for latency matching.
+struct Pending {
+  util::Mutex mutex;
+  std::vector<std::pair<long, double>> sent NP_GUARDED_BY(mutex);
+};
+
+/// Reply reader for one connection: tally statuses and match ids back
+/// to send times. Runs until the socket EOFs (peer close, our close, or
+/// an unframeable reply stream).
+void reader_loop(int fd, std::shared_ptr<Pending> pending, Tally& tally) {
+  serve::FrameReader reader;
+  std::string payload;
+  std::string error;
+  char buffer[4096];
+  for (;;) {
+    const ssize_t n = ::recv(fd, buffer, sizeof buffer, 0);
+    if (n <= 0) return;
+    reader.feed(buffer, static_cast<std::size_t>(n));
+    for (;;) {
+      const serve::FrameEvent event = reader.next(&payload, &error);
+      if (event == serve::FrameEvent::kNeedMore) break;
+      if (event == serve::FrameEvent::kFatal) return;
+      serve::Reply reply;
+      try {
+        reply = serve::parse_reply(payload);
+      } catch (const std::exception&) {
+        continue;  // count nothing for an unparseable reply
+      }
+      switch (reply.status) {
+        case serve::ReplyStatus::kOk: tally.ok.fetch_add(1); break;
+        case serve::ReplyStatus::kDegraded: tally.degraded.fetch_add(1); break;
+        case serve::ReplyStatus::kShed: tally.shed.fetch_add(1); break;
+        case serve::ReplyStatus::kError: tally.error.fetch_add(1); break;
+      }
+      double sent_at = -1.0;
+      {
+        util::LockGuard lock(pending->mutex);
+        for (auto& entry : pending->sent) {
+          if (entry.first == reply.id) {
+            sent_at = entry.second;
+            entry.first = -1;
+            break;
+          }
+        }
+      }
+      if (sent_at >= 0.0) {
+        util::LockGuard lock(tally.mutex);
+        tally.latencies_us.push_back(steady_now_us() - sent_at);
+      }
+    }
+  }
+}
+
+struct Options {
+  std::string host = "127.0.0.1";
+  long port = -1;
+  long connections = 1;
+  double rate = 50.0;
+  double duration_s = 2.0;
+  std::vector<double> deadline_mix = {0.0};
+  double malformed_pct = 0.0;
+  long kill_connections = 0;
+  unsigned seed = 1;
+};
+
+/// One connection's open-loop sender. Chaos (garbage frames, mid-frame
+/// disconnects) replaces the scheduled query and reconnects afterwards;
+/// latencies for a dead connection's in-flight ids are simply lost.
+void run_connection(const Options& options, int conn_index, long num_links,
+                    Tally& tally) {
+  Rng rng(options.seed + 7919ULL * static_cast<std::uint64_t>(conn_index));
+  int fd = dial(options.host, options.port);
+  auto pending = std::make_shared<Pending>();
+  std::thread reader(
+      [fd, pending, &tally] { reader_loop(fd, pending, tally); });
+  const auto reconnect = [&] {
+    // shutdown() before close(): close alone does not unblock a reader
+    // parked in recv() on the same fd.
+    ::shutdown(fd, SHUT_RDWR);
+    reader.join();
+    ::close(fd);
+    fd = dial(options.host, options.port);
+    pending = std::make_shared<Pending>();
+    reader = std::thread(
+        [fd, pending, &tally] { reader_loop(fd, pending, tally); });
+  };
+
+  const double interval_s =
+      static_cast<double>(options.connections) / std::max(options.rate, 1e-6);
+  Stopwatch clock;
+  long query = 0;
+  long kills_left = options.kill_connections;
+  while (clock.seconds() < options.duration_s) {
+    const double next_at = static_cast<double>(query) * interval_s;
+    const double wait_s = next_at - clock.seconds();
+    if (wait_s > 0.0) {
+      std::this_thread::sleep_for(std::chrono::duration<double>(wait_s));
+    }
+    ++query;
+    const long id = conn_index + options.connections * query;
+
+    if (options.malformed_pct > 0.0 &&
+        rng.uniform() * 100.0 < options.malformed_pct) {
+      // Chaos: either schema garbage inside a valid frame (typed error
+      // reply expected, connection survives) or a corrupt length prefix
+      // (server replies once and hangs up; reconnect and keep going).
+      tally.malformed_sent.fetch_add(1);
+      if (rng.uniform() < 0.5) {
+        send_all(fd, serve::frame("np1 bogus id=!! plan="));
+      } else {
+        send_all(fd, std::string("\xff\xff\xff\xff garbage", 12));
+        reconnect();
+      }
+      continue;
+    }
+
+    if (kills_left > 0 && rng.uniform() < 0.05) {
+      // Chaos: die mid-frame (half a length prefix), then come back.
+      --kills_left;
+      tally.kills.fetch_add(1);
+      send_all(fd, std::string("\x10\x00", 2));
+      reconnect();
+      continue;
+    }
+
+    serve::Request request;
+    request.kind = serve::RequestKind::kCheck;
+    request.id = id;
+    request.deadline_ms =
+        options.deadline_mix[rng.uniform_index(options.deadline_mix.size())];
+    request.plan.assign(static_cast<std::size_t>(num_links), 0);
+    // Random small additions keep warm bases honest: every query
+    // patches different capacities.
+    for (int touch = 0; touch < 3; ++touch) {
+      request.plan[rng.uniform_index(request.plan.size())] +=
+          static_cast<int>(rng.uniform_int(0, 3));
+    }
+    {
+      util::LockGuard lock(pending->mutex);
+      pending->sent.emplace_back(id, steady_now_us());
+    }
+    tally.sent.fetch_add(1);
+    send_all(fd, serve::frame(serve::encode_request(request)));
+  }
+
+  // Give stragglers a beat to come home, then hang up; the reader exits
+  // on the recv unblock.
+  std::this_thread::sleep_for(std::chrono::milliseconds(200));
+  ::shutdown(fd, SHUT_RDWR);
+  reader.join();
+  ::close(fd);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  int rc = 2;
+  try {
+    Options options;
+    for (int i = 1; i < argc; ++i) {
+      const std::string arg = argv[i];
+      const auto value = [&]() -> const char* {
+        if (i + 1 >= argc) throw std::runtime_error(arg + ": missing value");
+        return argv[++i];
+      };
+      if (arg == "--help") return usage(stdout);
+      if (arg == "--port") {
+        options.port = parse_long_arg("--port", value(), 1, 65535);
+      } else if (arg == "--host") {
+        options.host = value();
+      } else if (arg == "--connections") {
+        options.connections = parse_long_arg("--connections", value(), 1, 256);
+      } else if (arg == "--rate") {
+        options.rate = parse_double_arg("--rate", value(), 0.1, 1e6);
+      } else if (arg == "--duration-s") {
+        options.duration_s =
+            parse_double_arg("--duration-s", value(), 0.01, 3600.0);
+      } else if (arg == "--deadline-ms-mix") {
+        options.deadline_mix.clear();
+        std::stringstream is(value());
+        std::string token;
+        while (std::getline(is, token, ',')) {
+          options.deadline_mix.push_back(
+              parse_double_arg("--deadline-ms-mix", token.c_str(), 0.0, 1e9));
+        }
+        if (options.deadline_mix.empty()) {
+          throw std::runtime_error("--deadline-ms-mix: empty list");
+        }
+      } else if (arg == "--malformed-pct") {
+        options.malformed_pct =
+            parse_double_arg("--malformed-pct", value(), 0.0, 100.0);
+      } else if (arg == "--kill-connections") {
+        options.kill_connections =
+            parse_long_arg("--kill-connections", value(), 0, 1000000);
+      } else if (arg == "--seed") {
+        options.seed = static_cast<unsigned>(
+            parse_long_arg("--seed", value(), 0, 1L << 31));
+      } else {
+        std::fprintf(stderr, "np_loadgen: unknown flag '%s'\n", arg.c_str());
+        return usage(stderr);
+      }
+    }
+    if (options.port < 0) return usage(stderr);
+
+    // Learn the topology shape from the server itself.
+    const int setup_fd = dial(options.host, options.port);
+    serve::Request info;
+    info.kind = serve::RequestKind::kInfo;
+    info.id = 0;
+    const serve::Reply shape = call(setup_fd, info);
+    ::close(setup_fd);
+    if (shape.links <= 0) {
+      throw std::runtime_error("info query returned no link count");
+    }
+
+    Tally tally;
+    std::vector<std::thread> threads;
+    for (long c = 0; c < options.connections; ++c) {
+      threads.emplace_back([&options, c, &shape, &tally] {
+        run_connection(options, static_cast<int>(c) + 1, shape.links, tally);
+      });
+    }
+    for (std::thread& thread : threads) thread.join();
+
+    std::vector<double> latencies;
+    {
+      util::LockGuard lock(tally.mutex);
+      latencies = tally.latencies_us;
+    }
+    std::sort(latencies.begin(), latencies.end());
+    const auto pct = [&](double q) {
+      if (latencies.empty()) return 0.0;
+      const auto idx = static_cast<std::size_t>(
+          q * static_cast<double>(latencies.size() - 1));
+      return latencies[idx];
+    };
+    const long answered = tally.ok.load() + tally.degraded.load() +
+                          tally.shed.load() + tally.error.load();
+    std::printf("np_loadgen: sent=%ld answered=%ld ok=%ld degraded=%ld "
+                "shed=%ld error=%ld malformed_sent=%ld kills=%ld\n",
+                tally.sent.load(), answered, tally.ok.load(),
+                tally.degraded.load(), tally.shed.load(), tally.error.load(),
+                tally.malformed_sent.load(), tally.kills.load());
+    std::printf("np_loadgen: latency p50=%.0fus p99=%.0fus (n=%zu)\n",
+                pct(0.50), pct(0.99), latencies.size());
+    rc = 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    rc = 1;
+  }
+  return rc;
+}
